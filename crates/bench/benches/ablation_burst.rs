@@ -1,0 +1,70 @@
+//! Ablation (paper future work §VI): dynamically changing message sizes
+//! and burstiness during a connection.
+//!
+//! The workload alternates bursts of large (1 MiB) and small (4 KiB)
+//! messages. The dynamic protocol should adapt: large-message bursts
+//! favour direct transfers (transmission delay covers the ADVERT loop),
+//! small-message bursts fall back to the intermediate buffer — so the
+//! dynamic protocol's throughput should sit at or above the better
+//! baseline, which is the paper's core claim about adaptivity ("a
+//! sudden, large change in network state will cause the protocol to
+//! switch transfer modes appropriately", §IV-C).
+
+use blast::{BlastSpec, SizeDist};
+use exs::{ExsConfig, ProtocolMode};
+use exs_bench::{messages, print_header, print_row, run_config, summarize};
+use rdma_verbs::profiles::fdr_infiniband;
+
+fn spec(mode: ProtocolMode, burst_len: u32) -> BlastSpec {
+    BlastSpec {
+        cfg: ExsConfig::with_mode(mode),
+        outstanding_sends: 2,
+        outstanding_recvs: 4,
+        sizes: SizeDist::Bursty {
+            large: 1 << 20,
+            small: 4 << 10,
+            burst_len,
+        },
+        messages: messages().max(240),
+        ..BlastSpec::new(fdr_infiniband())
+    }
+}
+
+const MODES: [ProtocolMode; 3] = [
+    ProtocolMode::Dynamic,
+    ProtocolMode::DirectOnly,
+    ProtocolMode::IndirectOnly,
+];
+
+fn main() {
+    print_header(
+        "Burstiness ablation: alternating 1 MiB / 4 KiB bursts (FDR IB, recvs=4 sends=2)",
+        &[
+            "dynamic Mbit/s",
+            "direct-only Mbit/s",
+            "indirect-only Mbit/s",
+        ],
+    );
+    for (bi, &burst_len) in [8u32, 32, 128].iter().enumerate() {
+        let mut cells = Vec::new();
+        for (mi, mode) in MODES.iter().enumerate() {
+            let reports = run_config(&spec(*mode, burst_len), 16_000 + (bi * 10 + mi) as u64);
+            cells.push(summarize(&reports, |r| r.throughput_mbps()));
+        }
+        print_row(&format!("burst_len={burst_len}"), &cells);
+    }
+
+    print_header(
+        "Burstiness ablation: dynamic protocol mode switches per run",
+        &["mode switches", "direct ratio"],
+    );
+    for (bi, &burst_len) in [8u32, 32, 128].iter().enumerate() {
+        let reports = run_config(&spec(ProtocolMode::Dynamic, burst_len), 16_100 + bi as u64);
+        let switches = summarize(&reports, |r| r.mode_switches as f64);
+        let ratio = summarize(&reports, |r| r.direct_ratio());
+        print_row(&format!("burst_len={burst_len}"), &[switches, ratio]);
+    }
+    println!();
+    println!("expected: the dynamic protocol switches modes across bursts and stays");
+    println!("          at or above the better single-mode baseline.");
+}

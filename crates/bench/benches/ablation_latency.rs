@@ -1,0 +1,83 @@
+//! Ablation (paper future work §VI): ping-pong latency study.
+//!
+//! "We also plan on performing latency studies." — round-trip latency
+//! for small and medium messages on FDR InfiniBand, per protocol mode.
+//! The direct path should show lower round trips once ADVERTs are in
+//! place; the indirect path adds the receiver copy to every hop.
+
+use blast::{run_pingpong, PingPongSpec, Summary};
+use exs::{ExsConfig, ProtocolMode};
+use exs_bench::{print_header, print_row, quick, runs};
+use rdma_verbs::profiles::{fdr_infiniband, fdr_infiniband_busy_poll};
+
+const MODES: [ProtocolMode; 3] = [
+    ProtocolMode::Dynamic,
+    ProtocolMode::DirectOnly,
+    ProtocolMode::IndirectOnly,
+];
+
+fn main() {
+    let iterations = if quick() { 40 } else { 200 };
+    print_header(
+        "Latency ablation: ping-pong mean RTT in us (FDR IB)",
+        &["dynamic", "direct-only", "indirect-only"],
+    );
+    for &(size, label) in &[
+        (64u32, "64 B"),
+        (4 << 10, "4 KiB"),
+        (64 << 10, "64 KiB"),
+        (1 << 20, "1 MiB"),
+    ] {
+        let mut cells = Vec::new();
+        for mode in MODES {
+            let mut samples = Vec::new();
+            for seed in 0..runs() as u64 {
+                let spec = PingPongSpec {
+                    cfg: ExsConfig::with_mode(mode),
+                    msg_size: size,
+                    iterations,
+                    warmup: 10,
+                    seed: 15_000 + seed,
+                    ..PingPongSpec::new(fdr_infiniband())
+                };
+                samples.push(run_pingpong(&spec).mean_us());
+            }
+            cells.push(Summary::of(&samples));
+        }
+        print_row(label, &cells);
+    }
+    print_header(
+        "Latency ablation: event notification vs busy polling, mean RTT in us (dynamic)",
+        &["event notify", "busy poll", "saved us"],
+    );
+    for &(size, label) in &[(64u32, "64 B"), (64 << 10, "64 KiB"), (1 << 20, "1 MiB")] {
+        let mut cells = Vec::new();
+        for profile in [fdr_infiniband(), fdr_infiniband_busy_poll()] {
+            let mut samples = Vec::new();
+            for seed in 0..runs() as u64 {
+                let spec = PingPongSpec {
+                    msg_size: size,
+                    iterations,
+                    warmup: 10,
+                    seed: 15_500 + seed,
+                    ..PingPongSpec::new(profile.clone())
+                };
+                samples.push(run_pingpong(&spec).mean_us());
+            }
+            cells.push(Summary::of(&samples));
+        }
+        let saved = Summary {
+            mean: cells[0].mean - cells[1].mean,
+            ci95: 0.0,
+            n: cells[0].n,
+        };
+        cells.push(saved);
+        print_row(label, &cells);
+    }
+    println!();
+    println!("expected: RTT grows with payload; the indirect mode pays the receiver");
+    println!("          copy on both hops, so its RTT exceeds direct at every size.");
+    println!("          busy polling removes the wakeup latency — a large relative win");
+    println!("          for small messages, negligible once transfers are wire-bound");
+    println!("          (the paper's §IV-B rationale for using event notification).");
+}

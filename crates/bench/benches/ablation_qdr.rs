@@ -1,0 +1,58 @@
+//! Ablation: QDR InfiniBand.
+//!
+//! "In tests on QDR InfiniBand, the indirect protocol compares much more
+//! favorably in terms of throughput, since the maximum possible
+//! throughput of QDR InfiniBand is not dramatically higher than the
+//! memory copy throughput." (paper §IV-B1)
+//!
+//! This harness repeats the Fig. 9a sweep on the QDR profile: the
+//! direct/indirect gap should shrink dramatically compared to FDR.
+
+use blast::BlastSpec;
+use exs::{ExsConfig, ProtocolMode};
+use exs_bench::{messages, print_header, print_row, run_config, summarize};
+use rdma_verbs::profiles::{fdr_infiniband, qdr_infiniband};
+use rdma_verbs::HwProfile;
+
+fn spec(profile: &HwProfile, mode: ProtocolMode, ops: usize) -> BlastSpec {
+    BlastSpec {
+        cfg: ExsConfig::with_mode(mode),
+        outstanding_sends: ops,
+        outstanding_recvs: ops,
+        messages: messages(),
+        ..BlastSpec::new(profile.clone())
+    }
+}
+
+fn sweep(profile: &HwProfile, seed_base: u64) {
+    print_header(
+        &format!("QDR ablation: throughput on {} (equal ops)", profile.name),
+        &["direct-only Mbit/s", "indirect-only Mbit/s", "gap %"],
+    );
+    for &ops in &[2usize, 8, 32] {
+        let d = run_config(
+            &spec(profile, ProtocolMode::DirectOnly, ops),
+            seed_base + ops as u64 * 2,
+        );
+        let i = run_config(
+            &spec(profile, ProtocolMode::IndirectOnly, ops),
+            seed_base + ops as u64 * 2 + 1,
+        );
+        let ds = summarize(&d, |r| r.throughput_mbps());
+        let is = summarize(&i, |r| r.throughput_mbps());
+        let gap = blast::Summary {
+            mean: (ds.mean - is.mean) / ds.mean * 100.0,
+            ci95: 0.0,
+            n: ds.n,
+        };
+        print_row(&format!("ops={ops}"), &[ds, is, gap]);
+    }
+}
+
+fn main() {
+    sweep(&fdr_infiniband(), 17_000);
+    sweep(&qdr_infiniband(), 18_000);
+    println!();
+    println!("expected: the direct-vs-indirect gap is far smaller on QDR than on FDR,");
+    println!("          because QDR's wire rate is close to the memcpy rate.");
+}

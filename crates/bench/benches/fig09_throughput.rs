@@ -1,0 +1,68 @@
+//! Figure 9 — Throughput vs. number of simultaneously outstanding
+//! operations on FDR InfiniBand, for the direct-only, dynamic and
+//! indirect-only protocols. Message sizes are drawn from the paper's
+//! truncated exponential distribution (mean 1 MiB, max 4 MiB).
+//!
+//! * **Fig. 9a**: outstanding operations equal at sender and receiver.
+//!   Expected shape: direct-only ≫ indirect-only; dynamic tracks
+//!   indirect-only (the sender is always ahead).
+//! * **Fig. 9b**: outstanding sends = half the outstanding receives.
+//!   Expected shape: dynamic tracks direct-only (a standing pool of
+//!   ADVERTs keeps the sender in direct mode).
+
+use blast::BlastSpec;
+use exs::{ExsConfig, ProtocolMode};
+use exs_bench::{messages, print_header, print_row, run_config, summarize};
+use rdma_verbs::profiles::fdr_infiniband;
+
+fn spec(mode: ProtocolMode, sends: usize, recvs: usize) -> BlastSpec {
+    BlastSpec {
+        cfg: ExsConfig::with_mode(mode),
+        outstanding_sends: sends,
+        outstanding_recvs: recvs,
+        messages: messages(),
+        ..BlastSpec::new(fdr_infiniband())
+    }
+}
+
+const MODES: [ProtocolMode; 3] = [
+    ProtocolMode::DirectOnly,
+    ProtocolMode::Dynamic,
+    ProtocolMode::IndirectOnly,
+];
+
+fn sweep(title: &str, pairs: &[(usize, usize)]) {
+    print_header(
+        title,
+        &[
+            "direct-only Mbit/s",
+            "dynamic Mbit/s",
+            "indirect-only Mbit/s",
+        ],
+    );
+    for &(sends, recvs) in pairs {
+        let mut cells = Vec::new();
+        for (mi, mode) in MODES.iter().enumerate() {
+            let reports = run_config(
+                &spec(*mode, sends, recvs),
+                (recvs * 10 + sends) as u64 * 10 + mi as u64,
+            );
+            cells.push(summarize(&reports, |r| r.throughput_mbps()));
+        }
+        print_row(&format!("recvs={recvs} sends={sends}"), &cells);
+    }
+}
+
+fn main() {
+    sweep(
+        "Fig. 9a: throughput, outstanding sender ops == receiver ops (FDR IB)",
+        &[(1, 1), (2, 2), (4, 4), (8, 8), (16, 16), (32, 32)],
+    );
+    sweep(
+        "Fig. 9b: throughput, outstanding sender ops == receiver ops / 2 (FDR IB)",
+        &[(1, 2), (2, 4), (4, 8), (8, 16), (16, 32)],
+    );
+    println!();
+    println!("paper shape: (9a) direct 35-44 Gbit/s, indirect 20-27 Gbit/s, dynamic ~= indirect;");
+    println!("             (9b) dynamic ~= direct (one anomaly near recvs=4, sends=2).");
+}

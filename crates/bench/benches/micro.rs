@@ -1,0 +1,161 @@
+//! Criterion micro-benchmarks for the building blocks: the event
+//! scheduler, the circular-buffer arithmetic, the sender matching
+//! algorithm (paper Fig. 2), control-message codecs, and a small
+//! end-to-end blast through the whole stack.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use blast::{run_blast, BlastSpec, SizeDist, VerifyLevel};
+use exs::buffer::{ReceiverRing, SenderRing};
+use exs::messages::{Advert, Ctrl, CtrlMsg};
+use exs::sender::{RemoteRing, SenderHalf};
+use exs::{ConnStats, ExsConfig, Phase, ProtocolMode, Seq};
+use rdma_verbs::profiles::fdr_infiniband;
+use simnet::{Scheduler, SimTime};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnet_scheduler");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter_batched(
+            Scheduler::<u64>::new,
+            |mut s| {
+                for i in 0..10_000u64 {
+                    s.schedule_at(SimTime::from_nanos(i * 7 % 5_000), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, v)) = s.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("intermediate_ring");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("reserve_commit_release_10k", |b| {
+        b.iter(|| {
+            let mut s = SenderRing::new(1 << 20);
+            let mut r = ReceiverRing::new(1 << 20);
+            for i in 0..10_000u64 {
+                let want = 1 + (i * 37) % 8_192;
+                let (_, n) = s.contiguous_reservation(want);
+                if n > 0 {
+                    s.commit(n);
+                    r.arrived(n);
+                }
+                let (_, m) = r.contiguous_read(want);
+                if m > 0 {
+                    r.consume(m);
+                    s.release(m);
+                }
+            }
+            (s.free(), r.count())
+        })
+    });
+    g.finish();
+}
+
+fn bench_sender_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sender_fig2");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("match_1k_adverts", |b| {
+        b.iter_batched(
+            || {
+                let mut half = SenderHalf::new(
+                    ProtocolMode::Dynamic,
+                    RemoteRing {
+                        addr: 0x1000,
+                        rkey: 1,
+                        capacity: 1 << 20,
+                    },
+                    1 << 20,
+                );
+                let mut stats = ConnStats::default();
+                let mut seq = 0u64;
+                for i in 0..1_000u64 {
+                    half.push_advert(
+                        Advert {
+                            seq: Seq(seq),
+                            phase: Phase(0),
+                            addr: 0x10_0000 + i * 8_192,
+                            len: 8_192,
+                            rkey: 9,
+                            waitall: false,
+                        },
+                        &mut stats,
+                    );
+                    seq += 8_192;
+                }
+                (half, stats)
+            },
+            |(mut half, mut stats)| {
+                for _ in 0..1_000 {
+                    let plan = half.plan_transfer(8_192, &mut stats).expect("advert ready");
+                    assert!(!plan.indirect);
+                }
+                stats.direct_transfers
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_ctrl_codec(c: &mut Criterion) {
+    let msg = CtrlMsg {
+        ctrl: Ctrl::Advert(Advert {
+            seq: Seq(123_456_789),
+            phase: Phase(6),
+            addr: 0xDEAD_BEEF,
+            len: 1 << 20,
+            rkey: 77,
+            waitall: true,
+        }),
+        credit_return: 3,
+    };
+    let mut g = c.benchmark_group("ctrl_codec");
+    g.bench_function("encode_decode", |b| {
+        b.iter(|| {
+            let buf = msg.encode();
+            CtrlMsg::decode(&buf).expect("roundtrip")
+        })
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end_blast");
+    g.sample_size(10);
+    g.bench_function("fdr_dynamic_40msgs", |b| {
+        b.iter(|| {
+            let spec = BlastSpec {
+                cfg: ExsConfig::with_mode(ProtocolMode::Dynamic),
+                outstanding_sends: 4,
+                outstanding_recvs: 8,
+                sizes: SizeDist::Fixed(64 << 10),
+                messages: 40,
+                verify: VerifyLevel::None,
+                seed: 42,
+                ..BlastSpec::new(fdr_infiniband())
+            };
+            run_blast(&spec).bytes
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_ring,
+    bench_sender_matching,
+    bench_ctrl_codec,
+    bench_end_to_end
+);
+criterion_main!(benches);

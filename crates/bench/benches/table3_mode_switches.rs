@@ -1,0 +1,53 @@
+//! Table III — Average number of mode switches and ratio of direct
+//! transfers to total transfers for the dynamic protocol, for the
+//! Fig. 9a (equal ops) and Fig. 9b (receiver 2×) configurations.
+//!
+//! Expected shape: equal ops → around one mode switch (the sender falls
+//! out of the initial direct phase and stays indirect) with a direct
+//! ratio well below 0.1; receiver-2× → no switches and ratio 1.0, apart
+//! from a race-sensitive anomaly at small op counts that shows up as a
+//! non-zero switch count with a sharply reduced ratio.
+
+use blast::BlastSpec;
+use exs::{ExsConfig, ProtocolMode};
+use exs_bench::{messages, print_header, print_row, run_config, summarize};
+use rdma_verbs::profiles::fdr_infiniband;
+
+fn spec(sends: usize, recvs: usize) -> BlastSpec {
+    BlastSpec {
+        cfg: ExsConfig::with_mode(ProtocolMode::Dynamic),
+        outstanding_sends: sends,
+        outstanding_recvs: recvs,
+        messages: messages(),
+        ..BlastSpec::new(fdr_infiniband())
+    }
+}
+
+fn main() {
+    print_header(
+        "Table III: dynamic protocol mode switches and direct:total ratio (FDR IB)",
+        &["mode switches", "direct:total ratio"],
+    );
+    let pairs: [(usize, usize); 11] = [
+        (1, 1),
+        (2, 2),
+        (4, 4),
+        (8, 8),
+        (16, 16),
+        (32, 32),
+        (1, 2),
+        (2, 4),
+        (4, 8),
+        (8, 16),
+        (16, 32),
+    ];
+    for (i, &(sends, recvs)) in pairs.iter().enumerate() {
+        let reports = run_config(&spec(sends, recvs), 31000 + i as u64);
+        let switches = summarize(&reports, |r| r.mode_switches as f64);
+        let ratio = summarize(&reports, |r| r.direct_ratio());
+        print_row(&format!("recvs={recvs} sends={sends}"), &[switches, ratio]);
+    }
+    println!();
+    println!("paper shape: equal ops -> ~1 switch (93±86 at 1 op), ratio < 0.1 for >= 4 ops;");
+    println!("             2x recvs  -> 0 switches, ratio 1.0, except an anomaly at (4,2).");
+}

@@ -1,0 +1,231 @@
+//! Connection configuration.
+
+use crate::messages::MAX_WWI_LEN;
+
+/// Which transfer policy the connection uses (paper §IV-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolMode {
+    /// The paper's contribution: switch dynamically between direct and
+    /// indirect transfers based on whether the sender or receiver is
+    /// ahead.
+    Dynamic,
+    /// Baseline: the sender always waits for an ADVERT; the intermediate
+    /// buffer is never used.
+    DirectOnly,
+    /// Baseline: the receiver never sends ADVERTs; every transfer goes
+    /// through the intermediate buffer.
+    IndirectOnly,
+    /// Related-work baseline modelling rsockets' BCopy mode: "the
+    /// rsend() and rrecv() calls are blocking and perform buffer copies
+    /// on both the send and receive side on all transfers" (paper
+    /// §II-A). Like [`ProtocolMode::IndirectOnly`] plus a send-side
+    /// staging copy charged to the sender's CPU.
+    BCopy,
+}
+
+impl ProtocolMode {
+    /// Short label used in benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolMode::Dynamic => "dynamic",
+            ProtocolMode::DirectOnly => "direct-only",
+            ProtocolMode::IndirectOnly => "indirect-only",
+            ProtocolMode::BCopy => "bcopy",
+        }
+    }
+
+    /// True for modes that never use ADVERTs (all data goes through the
+    /// intermediate buffer).
+    pub fn buffered_only(self) -> bool {
+        matches!(self, ProtocolMode::IndirectOnly | ProtocolMode::BCopy)
+    }
+}
+
+/// How RDMA WRITE WITH IMM is realized on the wire.
+///
+/// WWI "exists in InfiniBand, RoCE, and newer versions of iWARP. The
+/// operation can be simulated on older iWARP hardware by following an
+/// RDMA WRITE with a small SEND" (paper §II-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WwiMode {
+    /// Hardware RDMA WRITE WITH IMM (InfiniBand / RoCE / new iWARP).
+    Native,
+    /// Old-iWARP emulation: an unacknowledged-to-the-app RDMA WRITE
+    /// followed by a small SEND carrying the notification. Costs one
+    /// extra wire message and one extra completion per transfer.
+    WritePlusSend,
+}
+
+/// Tunables for one EXS connection.
+#[derive(Clone, Debug)]
+pub struct ExsConfig {
+    /// Transfer policy.
+    pub mode: ProtocolMode,
+    /// WWI realization.
+    pub wwi_mode: WwiMode,
+    /// Intermediate (hidden) receive buffer capacity in bytes.
+    pub ring_capacity: u64,
+    /// Receive WQEs each side pre-posts; also the peer's send credit
+    /// budget (paper §II-B).
+    pub credits: u32,
+    /// Bytes freed from the intermediate buffer before an ACK is sent
+    /// (0 ⇒ `ring_capacity / 8`). The buffer-empty transition always
+    /// ACKs.
+    pub ack_threshold: u64,
+    /// Re-posted receives accumulated before a standalone CREDIT message
+    /// is sent (0 ⇒ `credits / 4`). Credit returns also piggyback on
+    /// every ADVERT and ACK.
+    pub credit_return_threshold: u32,
+    /// Largest single WWI chunk. Large transfers are split into chunks of
+    /// at most this size (and at ring wrap points for indirect
+    /// transfers).
+    pub max_wwi_chunk: u32,
+    /// Send-queue depth for the underlying QP.
+    pub sq_depth: usize,
+}
+
+impl Default for ExsConfig {
+    fn default() -> Self {
+        ExsConfig {
+            mode: ProtocolMode::Dynamic,
+            wwi_mode: WwiMode::Native,
+            ring_capacity: 16 << 20,
+            credits: 1024,
+            ack_threshold: 0,
+            credit_return_threshold: 0,
+            max_wwi_chunk: MAX_WWI_LEN,
+            sq_depth: 4096,
+        }
+    }
+}
+
+/// A configuration problem detected by [`ExsConfig::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The intermediate buffer must hold at least one control slot's
+    /// worth of data to make progress.
+    RingTooSmall,
+    /// At least four credits are needed: one reserved for CREDIT
+    /// returns, plus working room for ADVERTs, ACKs and data.
+    TooFewCredits,
+    /// The send queue must admit at least two WQEs (data + control).
+    SqTooShallow,
+    /// max_wwi_chunk must be positive and encodable in the immediate.
+    BadChunkLimit,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::RingTooSmall => write!(f, "ring_capacity below 64 bytes"),
+            ConfigError::TooFewCredits => write!(f, "fewer than 4 credits"),
+            ConfigError::SqTooShallow => write!(f, "sq_depth below 2"),
+            ConfigError::BadChunkLimit => write!(f, "max_wwi_chunk out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ExsConfig {
+    /// Checks the configuration for values that cannot make progress.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.ring_capacity < 64 {
+            return Err(ConfigError::RingTooSmall);
+        }
+        if self.credits < 4 {
+            return Err(ConfigError::TooFewCredits);
+        }
+        if self.sq_depth < 2 {
+            return Err(ConfigError::SqTooShallow);
+        }
+        if self.max_wwi_chunk == 0 || self.max_wwi_chunk > MAX_WWI_LEN {
+            return Err(ConfigError::BadChunkLimit);
+        }
+        Ok(())
+    }
+
+    /// A config with the given mode and defaults otherwise.
+    pub fn with_mode(mode: ProtocolMode) -> Self {
+        ExsConfig {
+            mode,
+            ..ExsConfig::default()
+        }
+    }
+
+    /// Effective ACK threshold.
+    pub fn effective_ack_threshold(&self) -> u64 {
+        if self.ack_threshold == 0 {
+            (self.ring_capacity / 8).max(1)
+        } else {
+            self.ack_threshold
+        }
+    }
+
+    /// Effective credit-return threshold.
+    pub fn effective_credit_threshold(&self) -> u32 {
+        if self.credit_return_threshold == 0 {
+            (self.credits / 4).max(1)
+        } else {
+            self.credit_return_threshold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ExsConfig::default();
+        assert_eq!(c.mode, ProtocolMode::Dynamic);
+        assert!(c.ring_capacity >= 1 << 20);
+        assert!(c.credits >= 64);
+        assert_eq!(c.effective_ack_threshold(), c.ring_capacity / 8);
+        assert_eq!(c.effective_credit_threshold(), c.credits / 4);
+    }
+
+    #[test]
+    fn explicit_thresholds_override() {
+        let c = ExsConfig {
+            ack_threshold: 7,
+            credit_return_threshold: 3,
+            ..ExsConfig::default()
+        };
+        assert_eq!(c.effective_ack_threshold(), 7);
+        assert_eq!(c.effective_credit_threshold(), 3);
+    }
+
+    #[test]
+    fn validation_catches_degenerate_configs() {
+        assert!(ExsConfig::default().validate().is_ok());
+        let bad = ExsConfig {
+            ring_capacity: 8,
+            ..ExsConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::RingTooSmall));
+        let bad = ExsConfig {
+            credits: 2,
+            ..ExsConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::TooFewCredits));
+        let bad = ExsConfig {
+            sq_depth: 1,
+            ..ExsConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::SqTooShallow));
+        let bad = ExsConfig {
+            max_wwi_chunk: 0,
+            ..ExsConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::BadChunkLimit));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ProtocolMode::Dynamic.label(), "dynamic");
+        assert_eq!(ProtocolMode::DirectOnly.label(), "direct-only");
+        assert_eq!(ProtocolMode::IndirectOnly.label(), "indirect-only");
+    }
+}

@@ -1,0 +1,64 @@
+//! # exs — stream semantics over RDMA (UNH EXS reproduction)
+//!
+//! This crate reimplements the contribution of MacArthur & Russell,
+//! *An Efficient Method for Stream Semantics over RDMA* (IEEE IPDPS
+//! 2014): a byte-stream protocol over RDMA verbs that **dynamically
+//! switches between zero-copy direct transfers and buffered indirect
+//! transfers**, depending on whether the sender or the receiver is
+//! currently ahead.
+//!
+//! * When the receiver is ahead, its `exs_recv()` buffers are advertised
+//!   to the sender (ADVERT messages) and data moves by RDMA WRITE WITH
+//!   IMM **directly into user memory** — true zero-copy.
+//! * When the sender is ahead (no usable ADVERT), data moves into a
+//!   hidden **circular intermediate buffer** at the receiver, which later
+//!   copies it into user memory — lower send latency, higher receiver
+//!   CPU.
+//!
+//! Consistency between the two modes on one connection is maintained by
+//! stream **sequence numbers** and Lamport-style **phase numbers** (even
+//! = direct, odd = indirect); the matching rules of paper Fig. 2–5 are
+//! implemented in [`sender`] and [`receiver`] as sans-IO state machines,
+//! and the paper's correctness lemmas are enforced as debug assertions
+//! and re-proved as property tests.
+//!
+//! Layer map:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`phase`], [`seq`] | phase numbers / sequence numbers (§III) |
+//! | [`messages`] | ADVERT / ACK / CREDIT formats, WWI immediates |
+//! | [`buffer`] | circular intermediate buffer (§III) |
+//! | [`sender`] | Fig. 2 matching algorithm |
+//! | [`receiver`] | Fig. 3–5 receiver algorithms |
+//! | [`stream`] | SOCK_STREAM sockets over a verbs QP |
+//! | [`seqpacket`] | SOCK_SEQPACKET message mode (§II-C) |
+//! | [`api`] | ES-API-flavoured convenience layer |
+//! | [`stats`] | Table III counters |
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod buffer;
+pub mod config;
+pub mod messages;
+pub mod phase;
+pub mod port;
+pub mod receiver;
+pub mod sender;
+pub mod seq;
+pub mod seqpacket;
+pub mod stats;
+pub mod stream;
+pub mod threaded;
+
+pub use api::{Event, ExsContext, ExsFd, MsgFlags, QueuedEvent, SockType};
+pub use config::{ConfigError, ExsConfig, ProtocolMode, WwiMode};
+pub use messages::{Advert, Ctrl, CtrlMsg, TransferKind};
+pub use phase::Phase;
+pub use port::VerbsPort;
+pub use seq::Seq;
+pub use seqpacket::{SeqPacketEvent, SeqPacketSocket};
+pub use stats::ConnStats;
+pub use stream::{ExsEvent, StreamSocket};
+pub use threaded::{ThreadPort, ThreadStream};

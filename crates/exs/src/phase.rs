@@ -1,0 +1,97 @@
+//! Phase numbers (paper §III).
+//!
+//! The sender and receiver each keep a *phase number*, a Lamport-style
+//! logical clock that orders ADVERT sequences with respect to bursts of
+//! indirect transfers. Phases are **even during direct sequences and odd
+//! during indirect sequences**; both sides start at phase 0 (direct).
+//! The phase is monotonically non-decreasing on each side, which the
+//! correctness proof (paper §IV-A) leans on in cases b1/b2.
+
+/// A protocol phase number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Phase(pub u32);
+
+impl Phase {
+    /// The initial (direct) phase.
+    pub const ZERO: Phase = Phase(0);
+
+    /// True during a direct-transfer sequence (even phase).
+    #[inline]
+    pub fn is_direct(self) -> bool {
+        self.0.is_multiple_of(2)
+    }
+
+    /// True during an indirect-transfer sequence (odd phase).
+    #[inline]
+    pub fn is_indirect(self) -> bool {
+        !self.is_direct()
+    }
+
+    /// `NEXT_PHASE(p) = p + 1` (paper §III).
+    #[inline]
+    pub fn next(self) -> Phase {
+        Phase(self.0 + 1)
+    }
+
+    /// Advances `self` to at least `other` — used when the sender learns
+    /// of a newer phase from an ADVERT.
+    #[inline]
+    pub fn advance_to(&mut self, other: Phase) {
+        if other > *self {
+            *self = other;
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P{}({})",
+            self.0,
+            if self.is_direct() {
+                "direct"
+            } else {
+                "indirect"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_alternates() {
+        let p0 = Phase::ZERO;
+        assert!(p0.is_direct());
+        assert!(!p0.is_indirect());
+        let p1 = p0.next();
+        assert!(p1.is_indirect());
+        let p2 = p1.next();
+        assert!(p2.is_direct());
+        assert_eq!(p2, Phase(2));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Phase(3) > Phase(2));
+        assert!(Phase(0) < Phase(1));
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let mut p = Phase(4);
+        p.advance_to(Phase(2));
+        assert_eq!(p, Phase(4));
+        p.advance_to(Phase(7));
+        assert_eq!(p, Phase(7));
+    }
+
+    #[test]
+    fn display_names_mode() {
+        assert_eq!(Phase(0).to_string(), "P0(direct)");
+        assert_eq!(Phase(3).to_string(), "P3(indirect)");
+    }
+}

@@ -1,0 +1,93 @@
+//! Backend abstraction for the socket layer.
+//!
+//! The protocol state machines are sans-IO; the socket layer around
+//! them needs a handful of verbs operations plus host-cost accounting.
+//! [`VerbsPort`] names exactly that surface, so the same
+//! `StreamSocket`/`SeqPacketSocket` code runs over:
+//!
+//! * the deterministic simulator (`rdma_verbs::NodeApi` — virtual time,
+//!   CPU cost model; used by every benchmark), and
+//! * the real-thread fabric (`crate::threaded::ThreadPort` — genuine
+//!   concurrency; used to demonstrate the paper's thread-safety claim).
+
+use rdma_verbs::{Access, CqId, Cqe, MrInfo, MrKey, NodeApi, QpNum, RecvWr, Result, SendWr};
+
+/// The verbs surface the EXS socket layer needs from a backend.
+pub trait VerbsPort {
+    /// Posts a send work request.
+    fn post_send(&mut self, qpn: QpNum, wr: SendWr) -> Result<()>;
+    /// Posts a receive work request.
+    fn post_recv(&mut self, qpn: QpNum, wr: RecvWr) -> Result<()>;
+    /// Polls up to `max` completions from `cq` into `out`.
+    fn poll_cq(&mut self, cq: CqId, max: usize, out: &mut Vec<Cqe>) -> Result<usize>;
+    /// Reads registered memory (control-message slots).
+    fn read_mr(&self, key: MrKey, addr: u64, buf: &mut [u8]) -> Result<()>;
+    /// Copies between registered regions, charging the host memcpy cost
+    /// where the backend models one (the intermediate-buffer copy-out).
+    fn copy_mr(
+        &mut self,
+        src_key: MrKey,
+        src_addr: u64,
+        dst_key: MrKey,
+        dst_addr: u64,
+        len: u64,
+    ) -> Result<u64>;
+    /// Charges the protocol-layer cost of handling one completion
+    /// (no-op on backends without a CPU model).
+    fn charge_cqe_cost(&mut self);
+    /// Outstanding send WQEs on the QP (send-queue backpressure).
+    fn sq_outstanding(&self, qpn: QpNum) -> usize;
+    /// Registers a memory region (BCopy staging buffers).
+    fn register_mr(&mut self, len: usize, access: Access) -> MrInfo;
+    /// Deregisters a memory region.
+    fn deregister_mr(&mut self, key: MrKey) -> Result<()>;
+}
+
+impl VerbsPort for NodeApi<'_> {
+    fn post_send(&mut self, qpn: QpNum, wr: SendWr) -> Result<()> {
+        NodeApi::post_send(self, qpn, wr)
+    }
+
+    fn post_recv(&mut self, qpn: QpNum, wr: RecvWr) -> Result<()> {
+        NodeApi::post_recv(self, qpn, wr)
+    }
+
+    fn poll_cq(&mut self, cq: CqId, max: usize, out: &mut Vec<Cqe>) -> Result<usize> {
+        NodeApi::poll_cq(self, cq, max, out)
+    }
+
+    fn read_mr(&self, key: MrKey, addr: u64, buf: &mut [u8]) -> Result<()> {
+        NodeApi::read_mr(self, key, addr, buf)
+    }
+
+    fn copy_mr(
+        &mut self,
+        src_key: MrKey,
+        src_addr: u64,
+        dst_key: MrKey,
+        dst_addr: u64,
+        len: u64,
+    ) -> Result<u64> {
+        NodeApi::copy_mr(self, src_key, src_addr, dst_key, dst_addr, len)
+    }
+
+    fn charge_cqe_cost(&mut self) {
+        let cost = self.host().cqe_process;
+        self.charge(cost);
+    }
+
+    fn sq_outstanding(&self, qpn: QpNum) -> usize {
+        self.hca()
+            .qp(qpn)
+            .map(|q| q.sq_outstanding())
+            .unwrap_or(usize::MAX)
+    }
+
+    fn register_mr(&mut self, len: usize, access: Access) -> MrInfo {
+        NodeApi::register_mr(self, len, access)
+    }
+
+    fn deregister_mr(&mut self, key: MrKey) -> Result<()> {
+        self.hca_deregister(key)
+    }
+}

@@ -1,0 +1,455 @@
+//! The sender half of the stream protocol — paper Fig. 2.
+//!
+//! The sender keeps a queue `q_A` of received ADVERTs, its phase `P_s`,
+//! its stream position `S_s`, and a free-space view of the receiver's
+//! intermediate buffer (`b_s`). Each call to [`SenderHalf::plan_transfer`]
+//! executes one iteration of the matching algorithm:
+//!
+//! 1. Pop and discard stale ADVERTs: while the sender's phase is
+//!    indirect, an ADVERT with an older phase or an older sequence number
+//!    is thrown away; if the discarded ADVERT carries a *newer* phase,
+//!    the sender's phase jumps past it (`NEXT_PHASE(P_A)`) so the rest
+//!    of that ADVERT sequence is dropped too — the Fig. 8 scenario.
+//! 2. If a usable ADVERT heads the queue, transition to its (direct)
+//!    phase if needed and plan a **direct** WWI into the advertised user
+//!    buffer. An ADVERT with MSG_WAITALL stays at the head until it is
+//!    completely filled (paper §II-C); otherwise it is consumed by a
+//!    single transfer of any size.
+//! 3. Otherwise, if the intermediate buffer has free space, transition
+//!    to an indirect phase if needed and plan an **indirect** WWI into
+//!    the ring (split at the wrap point).
+//! 4. Otherwise the send must wait (for an ADVERT or an ACK).
+//!
+//! This module is sans-IO: it plans transfers; the socket layer posts the
+//! verbs work requests and enforces credit/SQ limits. That separation is
+//! what lets property tests drive the algorithm through arbitrary
+//! schedules.
+
+use std::collections::VecDeque;
+
+use crate::buffer::SenderRing;
+use crate::config::ProtocolMode;
+use crate::messages::Advert;
+use crate::phase::Phase;
+use crate::seq::Seq;
+use crate::stats::ConnStats;
+
+/// An ADVERT queued at the sender, with its fill progress (for
+/// MSG_WAITALL adverts that accept multiple transfers).
+#[derive(Clone, Copy, Debug)]
+struct QueuedAdvert {
+    advert: Advert,
+    filled: u32,
+}
+
+/// One planned RDMA WRITE WITH IMM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WwiPlan {
+    /// Remote virtual address to write to.
+    pub raddr: u64,
+    /// Remote key authorizing the write.
+    pub rkey: u32,
+    /// Chunk length.
+    pub len: u32,
+    /// True for an indirect (intermediate-buffer) transfer.
+    pub indirect: bool,
+}
+
+/// The remote intermediate buffer's location, exchanged at connection
+/// setup.
+#[derive(Clone, Copy, Debug)]
+pub struct RemoteRing {
+    /// Base virtual address of the ring region at the receiver.
+    pub addr: u64,
+    /// Remote key for the ring region.
+    pub rkey: u32,
+    /// Ring capacity in bytes.
+    pub capacity: u64,
+}
+
+/// Sender-half protocol state.
+pub struct SenderHalf {
+    mode: ProtocolMode,
+    phase: Phase,
+    seq: Seq,
+    adverts: VecDeque<QueuedAdvert>,
+    ring: SenderRing,
+    remote_ring: RemoteRing,
+    max_chunk: u32,
+}
+
+impl SenderHalf {
+    /// Creates the sender half for a connection whose peer owns the given
+    /// intermediate ring.
+    pub fn new(mode: ProtocolMode, remote_ring: RemoteRing, max_chunk: u32) -> Self {
+        assert!(max_chunk > 0, "max WWI chunk must be positive");
+        SenderHalf {
+            mode,
+            phase: Phase::ZERO,
+            seq: Seq::ZERO,
+            adverts: VecDeque::new(),
+            ring: SenderRing::new(remote_ring.capacity),
+            remote_ring,
+            max_chunk,
+        }
+    }
+
+    /// Current phase (`P_s`).
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Current stream position (`S_s`).
+    pub fn seq(&self) -> Seq {
+        self.seq
+    }
+
+    /// Queued, not-yet-consumed ADVERTs.
+    pub fn advert_queue_len(&self) -> usize {
+        self.adverts.len()
+    }
+
+    /// Free bytes in the remote intermediate buffer (`b_s`).
+    pub fn buffer_free(&self) -> u64 {
+        self.ring.free()
+    }
+
+    /// Queues an ADVERT received from the peer.
+    pub fn push_advert(&mut self, advert: Advert, stats: &mut ConnStats) {
+        stats.adverts_received += 1;
+        debug_assert!(
+            advert.phase.is_direct(),
+            "Lemma 1 violated: ADVERT carries indirect phase {}",
+            advert.phase
+        );
+        if self.mode.buffered_only() {
+            // The buffered-only baselines ignore ADVERTs entirely (the
+            // peer should not send any, but tolerate mixed configs).
+            stats.adverts_discarded += 1;
+            return;
+        }
+        self.adverts.push_back(QueuedAdvert { advert, filled: 0 });
+    }
+
+    /// Applies an ACK: the receiver freed `n` intermediate-buffer bytes.
+    pub fn on_ack(&mut self, freed: u64, stats: &mut ConnStats) {
+        stats.acks_received += 1;
+        self.ring.release(freed);
+    }
+
+    /// Plans the next WWI for a send with `remaining` unsent bytes,
+    /// following Fig. 2. Returns `None` when the send must wait for an
+    /// ADVERT or ACK. The plan is committed to protocol state (sequence
+    /// number, phase, advert fill, ring reservation) — the caller *must*
+    /// issue the corresponding WWI.
+    pub fn plan_transfer(&mut self, remaining: u64, stats: &mut ConnStats) -> Option<WwiPlan> {
+        assert!(remaining > 0, "plan_transfer with nothing to send");
+
+        // Fig. 2 lines 1–16: scan the ADVERT queue.
+        while let Some(head) = self.adverts.front().copied() {
+            let a = head.advert;
+            if self.phase.is_indirect() && (a.phase < self.phase || a.seq < self.seq) {
+                // Lines 4–7: stale — discard, and if the ADVERT is from a
+                // *newer* phase, jump past that whole phase so none of its
+                // successors can falsely match (Fig. 8 fix).
+                if self.phase < a.phase {
+                    self.phase = a.phase.next();
+                }
+                self.adverts.pop_front();
+                stats.adverts_discarded += 1;
+                continue;
+            }
+            // Lines 8–14: usable ADVERT.
+            if self.phase.is_indirect() {
+                // Resynchronize: the receiver caught up. The paper's text
+                // requires an exact sequence match here; the invariant is
+                // checked in debug builds (Theorem 1 guarantees it).
+                debug_assert_eq!(
+                    a.seq, self.seq,
+                    "accepted ADVERT with mismatched sequence at resync"
+                );
+                self.phase = a.phase;
+                stats.mode_switches += 1;
+            } else {
+                debug_assert_eq!(
+                    a.phase, self.phase,
+                    "Lemma 4 violated: direct-phase sender saw mismatched ADVERT phase"
+                );
+            }
+            let space = a.len - head.filled;
+            debug_assert!(space > 0, "fully-filled ADVERT left in queue");
+            // One WWI per advert match: the receiver's completion logic
+            // keys off single transfers, so direct chunks are bounded by
+            // the advertised buffer, not by max_chunk (which only splits
+            // indirect ring writes). The immediate-data encoding caps a
+            // single transfer at 2 GiB − 1.
+            let len = (remaining.min(space as u64)).min(crate::messages::MAX_WWI_LEN as u64) as u32;
+            let raddr = a.addr + head.filled as u64;
+            self.seq.advance(len as u64);
+            let new_filled = head.filled + len;
+            // A WAITALL advert stays at the head until completely filled
+            // (paper §II-C); any other advert is consumed by one WWI.
+            let keep = new_filled < a.len && a.waitall;
+            if keep {
+                self.adverts.front_mut().expect("head exists").filled = new_filled;
+            } else {
+                self.adverts.pop_front();
+            }
+            stats.direct_transfers += 1;
+            stats.direct_bytes += len as u64;
+            return Some(WwiPlan {
+                raddr,
+                rkey: a.rkey,
+                len,
+                indirect: false,
+            });
+        }
+
+        // Fig. 2 lines 17–25: no usable ADVERT — go through the
+        // intermediate buffer if allowed and there is room.
+        if self.mode == ProtocolMode::DirectOnly {
+            return None;
+        }
+        let want = remaining.min(self.max_chunk as u64);
+        let (offset, len) = self.ring.contiguous_reservation(want);
+        if len == 0 {
+            return None;
+        }
+        if self.phase.is_direct() {
+            self.phase = self.phase.next();
+            stats.mode_switches += 1;
+        }
+        self.ring.commit(len);
+        self.seq.advance(len);
+        stats.indirect_transfers += 1;
+        stats.indirect_bytes += len;
+        Some(WwiPlan {
+            raddr: self.remote_ring.addr + offset,
+            rkey: self.remote_ring.rkey,
+            len: len as u32,
+            indirect: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> RemoteRing {
+        RemoteRing {
+            addr: 0x100000,
+            rkey: 7,
+            capacity: 1000,
+        }
+    }
+
+    fn half(mode: ProtocolMode) -> (SenderHalf, ConnStats) {
+        (SenderHalf::new(mode, ring(), 1 << 30), ConnStats::default())
+    }
+
+    fn advert(seq: u64, phase: u32, addr: u64, len: u32, waitall: bool) -> Advert {
+        Advert {
+            seq: Seq(seq),
+            phase: Phase(phase),
+            addr,
+            len,
+            rkey: 99,
+            waitall,
+        }
+    }
+
+    #[test]
+    fn direct_when_advert_available() {
+        let (mut s, mut st) = half(ProtocolMode::Dynamic);
+        s.push_advert(advert(0, 0, 0x2000, 100, false), &mut st);
+        let plan = s.plan_transfer(50, &mut st).unwrap();
+        assert_eq!(
+            plan,
+            WwiPlan {
+                raddr: 0x2000,
+                rkey: 99,
+                len: 50,
+                indirect: false
+            }
+        );
+        assert_eq!(s.seq(), Seq(50));
+        assert!(s.phase().is_direct());
+        // Non-WAITALL advert consumed by a single (final) transfer.
+        assert_eq!(s.advert_queue_len(), 0);
+        assert_eq!(st.direct_transfers, 1);
+        assert_eq!(st.mode_switches, 0);
+    }
+
+    #[test]
+    fn large_send_splits_across_adverts() {
+        let (mut s, mut st) = half(ProtocolMode::Dynamic);
+        s.push_advert(advert(0, 0, 0x2000, 100, false), &mut st);
+        s.push_advert(advert(101, 0, 0x3000, 100, false), &mut st);
+        // 150-byte send: 100 into the first advert, 50 into the second.
+        let p1 = s.plan_transfer(150, &mut st).unwrap();
+        assert_eq!((p1.raddr, p1.len), (0x2000, 100));
+        let p2 = s.plan_transfer(50, &mut st).unwrap();
+        assert_eq!((p2.raddr, p2.len), (0x3000, 50));
+        assert_eq!(s.seq(), Seq(150));
+    }
+
+    #[test]
+    fn small_send_consumes_non_waitall_advert() {
+        // A 10-byte send into a 100-byte non-WAITALL advert consumes the
+        // advert entirely: the receive completes with 10 bytes.
+        let (mut s, mut st) = half(ProtocolMode::Dynamic);
+        s.push_advert(advert(0, 0, 0x2000, 100, false), &mut st);
+        let p = s.plan_transfer(10, &mut st).unwrap();
+        assert_eq!(p.len, 10);
+        assert_eq!(s.advert_queue_len(), 0);
+    }
+
+    #[test]
+    fn waitall_advert_stays_until_filled() {
+        let (mut s, mut st) = half(ProtocolMode::Dynamic);
+        s.push_advert(advert(0, 0, 0x2000, 100, true), &mut st);
+        let p1 = s.plan_transfer(40, &mut st).unwrap();
+        assert_eq!((p1.raddr, p1.len), (0x2000, 40));
+        assert_eq!(s.advert_queue_len(), 1, "WAITALL advert retained");
+        let p2 = s.plan_transfer(30, &mut st).unwrap();
+        assert_eq!((p2.raddr, p2.len), (0x2000 + 40, 30));
+        let p3 = s.plan_transfer(30, &mut st).unwrap();
+        assert_eq!((p3.raddr, p3.len), (0x2000 + 70, 30));
+        assert_eq!(s.advert_queue_len(), 0, "released once full");
+    }
+
+    #[test]
+    fn indirect_when_no_advert() {
+        let (mut s, mut st) = half(ProtocolMode::Dynamic);
+        let p = s.plan_transfer(300, &mut st).unwrap();
+        assert!(p.indirect);
+        assert_eq!(p.raddr, ring().addr);
+        assert_eq!(p.len, 300);
+        assert!(s.phase().is_indirect());
+        assert_eq!(st.mode_switches, 1);
+        assert_eq!(s.buffer_free(), 700);
+        // Second chunk continues at offset 300.
+        let p2 = s.plan_transfer(100, &mut st).unwrap();
+        assert_eq!(p2.raddr, ring().addr + 300);
+        assert_eq!(st.mode_switches, 1, "staying indirect is not a switch");
+    }
+
+    #[test]
+    fn indirect_splits_at_wrap() {
+        let (mut s, mut st) = half(ProtocolMode::Dynamic);
+        s.plan_transfer(900, &mut st).unwrap();
+        s.on_ack(900, &mut st); // buffer empty again, cursor at 900
+        let p = s.plan_transfer(500, &mut st).unwrap();
+        assert_eq!((p.raddr - ring().addr, p.len), (900, 100));
+        let p2 = s.plan_transfer(400, &mut st).unwrap();
+        assert_eq!((p2.raddr - ring().addr, p2.len), (0, 400));
+    }
+
+    #[test]
+    fn blocks_when_buffer_full_and_no_advert() {
+        let (mut s, mut st) = half(ProtocolMode::Dynamic);
+        assert!(s.plan_transfer(1000, &mut st).is_some());
+        assert!(s.plan_transfer(1, &mut st).is_none(), "buffer full");
+        s.on_ack(200, &mut st);
+        let p = s.plan_transfer(500, &mut st).unwrap();
+        assert_eq!(p.len, 200, "limited by freed space");
+    }
+
+    #[test]
+    fn direct_only_waits_for_adverts() {
+        let (mut s, mut st) = half(ProtocolMode::DirectOnly);
+        assert!(s.plan_transfer(100, &mut st).is_none());
+        s.push_advert(advert(0, 0, 0x2000, 100, false), &mut st);
+        assert!(!s.plan_transfer(100, &mut st).unwrap().indirect);
+    }
+
+    #[test]
+    fn indirect_only_ignores_adverts() {
+        let (mut s, mut st) = half(ProtocolMode::IndirectOnly);
+        s.push_advert(advert(0, 0, 0x2000, 100, false), &mut st);
+        assert_eq!(s.advert_queue_len(), 0);
+        assert_eq!(st.adverts_discarded, 1);
+        assert!(s.plan_transfer(100, &mut st).unwrap().indirect);
+    }
+
+    #[test]
+    fn stale_advert_discarded_by_phase() {
+        let (mut s, mut st) = half(ProtocolMode::Dynamic);
+        // Go indirect (phase 1).
+        s.plan_transfer(10, &mut st).unwrap();
+        assert_eq!(s.phase(), Phase(1));
+        // An advert from the old direct phase 0 crosses on the wire:
+        // discarded even though its seq (10) matches.
+        s.push_advert(advert(10, 0, 0x2000, 100, false), &mut st);
+        let p = s.plan_transfer(10, &mut st).unwrap();
+        assert!(p.indirect, "stale advert must not be matched");
+        assert_eq!(st.adverts_discarded, 1);
+        assert_eq!(s.phase(), Phase(1), "older phase does not bump P_s");
+    }
+
+    #[test]
+    fn stale_advert_discarded_by_seq_bumps_phase() {
+        // Fig. 8: an ADVERT from a *newer* phase but with an old sequence
+        // number must drop the sender past that phase entirely.
+        let (mut s, mut st) = half(ProtocolMode::Dynamic);
+        s.plan_transfer(100, &mut st).unwrap(); // indirect, phase 1, seq 100
+                                                // The receiver resynchronized too early: advert for phase 2 with
+                                                // seq 50 (data still in flight).
+        s.push_advert(advert(50, 2, 0x2000, 100, false), &mut st);
+        let p = s.plan_transfer(10, &mut st).unwrap();
+        assert!(p.indirect);
+        assert_eq!(st.adverts_discarded, 1);
+        assert_eq!(s.phase(), Phase(3), "sender jumps past the dead phase");
+        // A successor advert from the dead phase 2 whose seq happens to
+        // match S_s must also be discarded (the Fig. 8 incorrect match).
+        s.push_advert(advert(110, 2, 0x3000, 100, false), &mut st);
+        let p = s.plan_transfer(10, &mut st).unwrap();
+        assert!(p.indirect, "phase-2 successor advert must not match");
+        assert_eq!(st.adverts_discarded, 2);
+    }
+
+    #[test]
+    fn resync_to_matching_advert() {
+        let (mut s, mut st) = half(ProtocolMode::Dynamic);
+        s.plan_transfer(100, &mut st).unwrap(); // indirect, phase 1, seq 100
+                                                // Receiver consumed everything and resynchronized: phase 2,
+                                                // seq exactly 100.
+        s.push_advert(advert(100, 2, 0x2000, 64, false), &mut st);
+        let p = s.plan_transfer(64, &mut st).unwrap();
+        assert!(!p.indirect);
+        assert_eq!(s.phase(), Phase(2));
+        assert_eq!(st.mode_switches, 2, "indirect→direct counted");
+        assert_eq!(s.seq(), Seq(164));
+    }
+
+    #[test]
+    fn indirect_chunking_respects_max_chunk() {
+        let mut s = SenderHalf::new(
+            ProtocolMode::Dynamic,
+            RemoteRing {
+                addr: 0,
+                rkey: 1,
+                capacity: 10_000,
+            },
+            128,
+        );
+        let mut st = ConnStats::default();
+        let p = s.plan_transfer(1000, &mut st).unwrap();
+        assert!(p.indirect);
+        assert_eq!(p.len, 128);
+        // Direct transfers are NOT chunk-capped: one WWI per advert
+        // match, bounded only by the advertised buffer.
+        s.on_ack(128, &mut st);
+        s.push_advert(advert(128, 2, 0x2000, 1000, false), &mut st);
+        let p = s.plan_transfer(1000, &mut st).unwrap();
+        assert_eq!((p.raddr, p.len), (0x2000, 1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to send")]
+    fn zero_remaining_panics() {
+        let (mut s, mut st) = half(ProtocolMode::Dynamic);
+        s.plan_transfer(0, &mut st);
+    }
+}

@@ -1,0 +1,78 @@
+//! Stream sequence numbers.
+//!
+//! A sequence number is the byte position of a transfer in the stream:
+//! "the sequence number of transfer *x* is the number of data bytes sent
+//! on the connection prior to the start of transfer *x*" (paper §II-B).
+//! ADVERTs carry *estimated* sequence numbers for future receives; the
+//! estimates are corrected as data actually arrives so that, whenever
+//! both sides quiesce, the estimate equals the true position again.
+
+/// A byte position in the stream.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Seq(pub u64);
+
+impl Seq {
+    /// Stream start.
+    pub const ZERO: Seq = Seq(0);
+
+    /// Advances by `n` bytes.
+    #[inline]
+    pub fn advance(&mut self, n: u64) {
+        self.0 = self
+            .0
+            .checked_add(n)
+            .expect("stream sequence number overflow");
+    }
+
+    /// The position `n` bytes later.
+    #[inline]
+    pub fn plus(self, n: u64) -> Seq {
+        Seq(self.0.checked_add(n).expect("stream sequence overflow"))
+    }
+
+    /// Byte distance from `earlier` to `self` (panics if negative).
+    #[inline]
+    pub fn distance_from(self, earlier: Seq) -> u64 {
+        self.0
+            .checked_sub(earlier.0)
+            .expect("sequence distance underflow")
+    }
+}
+
+impl std::fmt::Display for Seq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_and_plus() {
+        let mut s = Seq::ZERO;
+        s.advance(10);
+        assert_eq!(s, Seq(10));
+        assert_eq!(s.plus(5), Seq(15));
+        assert_eq!(s, Seq(10), "plus does not mutate");
+    }
+
+    #[test]
+    fn distance() {
+        assert_eq!(Seq(30).distance_from(Seq(12)), 18);
+        assert_eq!(Seq(5).distance_from(Seq(5)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn negative_distance_panics() {
+        let _ = Seq(1).distance_from(Seq(2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Seq(1) < Seq(2));
+        assert_eq!(format!("{}", Seq(42)), "S42");
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-connection statistics.
+//!
+//! UNH EXS "keeps statistics on the number of indirect vs. direct
+//! transfers" (paper §IV-B); Table III additionally reports the number
+//! of times the dynamic protocol switched modes. [`ConnStats`] collects
+//! those counters plus enough bookkeeping to debug the control plane.
+
+/// Counters for one connection endpoint.
+#[derive(Clone, Debug, Default)]
+pub struct ConnStats {
+    /// WWI transfers sent into advertised user memory.
+    pub direct_transfers: u64,
+    /// WWI transfers sent into the intermediate buffer.
+    pub indirect_transfers: u64,
+    /// Bytes moved by direct transfers.
+    pub direct_bytes: u64,
+    /// Bytes moved by indirect transfers.
+    pub indirect_bytes: u64,
+    /// Sender phase parity changes (direct ↔ indirect), Table III's
+    /// "Mode Switch Count".
+    pub mode_switches: u64,
+    /// ADVERTs emitted by this side's receiver half.
+    pub adverts_sent: u64,
+    /// ADVERTs received by this side's sender half.
+    pub adverts_received: u64,
+    /// Stale ADVERTs discarded by the sender matching algorithm.
+    pub adverts_discarded: u64,
+    /// ACK messages emitted.
+    pub acks_sent: u64,
+    /// ACK messages received.
+    pub acks_received: u64,
+    /// Standalone CREDIT messages emitted.
+    pub credits_sent: u64,
+    /// Bytes copied out of the intermediate buffer to user memory.
+    pub bytes_copied_out: u64,
+    /// User `exs_send` operations completed.
+    pub sends_completed: u64,
+    /// User `exs_recv` operations completed.
+    pub recvs_completed: u64,
+    /// User payload bytes fully sent (all WWIs completed).
+    pub bytes_sent: u64,
+    /// User payload bytes delivered to completed receives.
+    pub bytes_received: u64,
+}
+
+impl ConnStats {
+    /// Total data transfers (direct + indirect).
+    pub fn total_transfers(&self) -> u64 {
+        self.direct_transfers + self.indirect_transfers
+    }
+
+    /// Ratio of direct transfers to total transfers (Table III, Fig. 11b,
+    /// Fig. 12b). Returns 0 when nothing was transferred.
+    pub fn direct_ratio(&self) -> f64 {
+        let total = self.total_transfers();
+        if total == 0 {
+            0.0
+        } else {
+            self.direct_transfers as f64 / total as f64
+        }
+    }
+
+    /// Ratio of direct bytes to total bytes.
+    pub fn direct_byte_ratio(&self) -> f64 {
+        let total = self.direct_bytes + self.indirect_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.direct_bytes as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let mut s = ConnStats::default();
+        assert_eq!(s.direct_ratio(), 0.0);
+        s.direct_transfers = 3;
+        s.indirect_transfers = 1;
+        assert!((s.direct_ratio() - 0.75).abs() < 1e-12);
+        s.direct_bytes = 10;
+        s.indirect_bytes = 30;
+        assert!((s.direct_byte_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(s.total_transfers(), 4);
+    }
+}

@@ -1,0 +1,778 @@
+//! Stream-oriented (SOCK_STREAM) sockets.
+//!
+//! [`StreamSocket`] glues the sans-IO protocol halves ([`SenderHalf`],
+//! [`ReceiverHalf`]) to a simulated verbs queue pair:
+//!
+//! * user `exs_send()` data goes out as RDMA WRITE WITH IMM transfers —
+//!   direct into advertised user buffers or indirect into the peer's
+//!   intermediate ring, as the Fig. 2 algorithm decides;
+//! * ADVERT / ACK / CREDIT control messages travel as small inline
+//!   SENDs;
+//! * every side pre-posts `credits` receive WQEs (64-byte slots); every
+//!   arrival consumes one and is immediately re-posted, with returns
+//!   piggybacked on control messages and topped up by standalone CREDIT
+//!   messages (paper §II-B);
+//! * completions surface as [`ExsEvent`]s through an event-queue-style
+//!   API, mirroring the asynchronous UNH EXS interface where
+//!   `exs_send`/`exs_recv` return immediately and the application polls
+//!   an event queue (paper §II-B).
+//!
+//! The socket is driven from `NodeApp` handlers: call
+//! [`StreamSocket::handle_wake`] whenever the node wakes, then drain
+//! [`StreamSocket::take_events`].
+
+use std::collections::{HashMap, VecDeque};
+
+use rdma_verbs::{
+    connect_pair, Cqe, MrInfo, NodeApi, NodeId, QpCaps, QpNum, RecvWr, RemoteAddr, SendWr, Sge,
+    SimNet, WcOpcode, WcStatus,
+};
+use rdma_verbs::{Access, CqId, MrKey};
+
+use crate::port::VerbsPort;
+
+use crate::config::{ExsConfig, ProtocolMode, WwiMode};
+use crate::messages::{decode_imm, encode_imm, Ctrl, CtrlMsg, TransferKind, CTRL_MSG_LEN};
+use crate::receiver::{LocalRing, ReceiverHalf, RecvAction, RecvOp};
+use crate::sender::{RemoteRing, SenderHalf, WwiPlan};
+use crate::stats::ConnStats;
+
+/// Size of one pre-posted control receive slot.
+pub(crate) const CTRL_SLOT: u64 = 64;
+const _: () = assert!(
+    CTRL_MSG_LEN <= CTRL_SLOT as usize,
+    "slots must hold control messages"
+);
+/// Credits kept in reserve so a CREDIT message can always be sent.
+const CREDIT_RESERVE: u32 = 1;
+
+/// Completion events delivered to the application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExsEvent {
+    /// An `exs_send` finished: every byte has left the user buffer (all
+    /// WWIs completed locally), so the buffer is reusable.
+    SendComplete {
+        /// User token passed to `exs_send`.
+        id: u64,
+        /// Total bytes sent.
+        len: u64,
+    },
+    /// An `exs_recv` finished: `len` bytes are in the user buffer.
+    /// `len == 0` after the peer closed means end-of-stream.
+    RecvComplete {
+        /// User token passed to `exs_recv`.
+        id: u64,
+        /// Bytes delivered (≤ the posted length; equal when MSG_WAITALL
+        /// was set).
+        len: u32,
+    },
+    /// The peer half-closed and every byte of its stream has been
+    /// delivered: subsequent receives complete immediately with zero
+    /// bytes, like `read(2)` at end of file.
+    PeerClosed,
+    /// The transport failed (QP error: retry exhaustion, link loss).
+    /// The connection is dead; pending operations will never complete.
+    ConnectionError,
+}
+
+struct PendingSend {
+    id: u64,
+    addr: u64,
+    len: u64,
+    key: MrKey,
+    dispatched: u64,
+}
+
+struct SendTrack {
+    len: u64,
+    outstanding: u32,
+    dispatched_all: bool,
+}
+
+/// Connection parameters one side shares with its peer at setup.
+#[derive(Clone, Copy, Debug)]
+pub struct SetupInfo {
+    ring_addr: u64,
+    ring_rkey: u32,
+    ring_capacity: u64,
+    credits: u32,
+}
+
+/// A stream-oriented EXS socket endpoint.
+pub struct StreamSocket {
+    node: NodeId,
+    qpn: QpNum,
+    send_cq: CqId,
+    recv_cq: CqId,
+    cfg: ExsConfig,
+    sender: SenderHalf,
+    receiver: ReceiverHalf,
+    ring_mr: MrInfo,
+    ctrl_mr: MrInfo,
+    pending_sends: VecDeque<PendingSend>,
+    inflight: HashMap<u64, SendTrack>,
+    wwi_owner: HashMap<u64, u64>,
+    next_wr: u64,
+    peer_credits: u32,
+    owed_credits: u32,
+    credit_threshold: u32,
+    pending_ctrl: VecDeque<Ctrl>,
+    events: Vec<ExsEvent>,
+    stats: ConnStats,
+    actions_scratch: Vec<RecvAction>,
+    /// BCopy-mode staging regions, freed when the send completes.
+    staging: HashMap<u64, MrKey>,
+    /// Local half-close requested; no further sends accepted.
+    send_closed: bool,
+    /// FIN queued to the peer (exactly once, after all data dispatched).
+    fin_queued: bool,
+    /// Peer's announced final stream length, once its FIN arrives.
+    peer_fin: Option<u64>,
+    /// End-of-stream already delivered to the application.
+    eof_delivered: bool,
+    /// Transport failure observed; the socket is dead.
+    broken: bool,
+}
+
+impl StreamSocket {
+    /// Builds one endpoint: registers the intermediate ring and control
+    /// slots and pre-posts the receive credits. The returned
+    /// [`SetupInfo`] must be exchanged with the peer (connection setup is
+    /// out of band, like `rdma_cm` parameter exchange).
+    pub fn prepare(
+        api: &mut NodeApi<'_>,
+        qpn: QpNum,
+        send_cq: CqId,
+        recv_cq: CqId,
+        cfg: &ExsConfig,
+    ) -> (PreparedSocket, SetupInfo) {
+        cfg.validate().expect("invalid EXS configuration");
+        let ring_mr = api.register_mr(cfg.ring_capacity as usize, Access::local_remote_write());
+        let ctrl_mr = api.register_mr(
+            (cfg.credits as u64 * CTRL_SLOT) as usize,
+            Access::LOCAL_WRITE,
+        );
+        for slot in 0..cfg.credits {
+            let sge = ctrl_mr.sge(slot as u64 * CTRL_SLOT, CTRL_SLOT as u32);
+            api.post_recv(qpn, RecvWr::new(slot as u64, sge))
+                .expect("pre-posting control receives");
+        }
+        let info = SetupInfo {
+            ring_addr: ring_mr.addr,
+            ring_rkey: ring_mr.key.0,
+            ring_capacity: cfg.ring_capacity,
+            credits: cfg.credits,
+        };
+        (
+            PreparedSocket {
+                node: api.node(),
+                qpn,
+                send_cq,
+                recv_cq,
+                cfg: cfg.clone(),
+                ring_mr,
+                ctrl_mr,
+            },
+            info,
+        )
+    }
+
+    /// Creates a fully connected pair of stream sockets over `net`,
+    /// performing the out-of-band parameter exchange both ways.
+    pub fn pair(
+        net: &mut SimNet,
+        a: NodeId,
+        b: NodeId,
+        cfg: &ExsConfig,
+    ) -> (StreamSocket, StreamSocket) {
+        let caps = QpCaps {
+            // The iWARP WWI emulation posts two WQEs per transfer;
+            // reserve headroom beyond the pump's sq_depth gate.
+            max_send_wr: cfg.sq_depth * 2 + 8,
+            max_recv_wr: cfg.credits as usize + 8,
+            max_inline: 256,
+        };
+        let cq_depth = cfg.sq_depth * 2 + cfg.credits as usize * 2;
+        let (ha, hb) = connect_pair(net, a, b, caps, cq_depth).expect("connect");
+        let (pa, ia) = net.with_api(a, |api| {
+            StreamSocket::prepare(api, ha.qpn, ha.send_cq, ha.recv_cq, cfg)
+        });
+        let (pb, ib) = net.with_api(b, |api| {
+            StreamSocket::prepare(api, hb.qpn, hb.send_cq, hb.recv_cq, cfg)
+        });
+        (pa.complete(ib), pb.complete(ia))
+    }
+
+    /// This endpoint's node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Protocol statistics for this endpoint.
+    pub fn stats(&self) -> &ConnStats {
+        &self.stats
+    }
+
+    /// The configured protocol mode.
+    pub fn mode(&self) -> ProtocolMode {
+        self.cfg.mode
+    }
+
+    /// True when no user send is queued or awaiting completion.
+    pub fn sends_drained(&self) -> bool {
+        self.pending_sends.is_empty() && self.inflight.is_empty()
+    }
+
+    /// Number of receive operations still queued.
+    pub fn recvs_pending(&self) -> usize {
+        self.receiver.queue_len()
+    }
+
+    /// Asynchronous send (ES-API `exs_send`): queues the operation and
+    /// returns immediately. Completion is reported via
+    /// [`ExsEvent::SendComplete`] once the user buffer is reusable.
+    ///
+    /// The buffer must stay untouched until then — the zero-copy
+    /// contract the ES-API makes explicit (paper §I).
+    pub fn exs_send(
+        &mut self,
+        api: &mut impl VerbsPort,
+        mr: &MrInfo,
+        offset: u64,
+        len: u64,
+        id: u64,
+    ) {
+        assert!(
+            offset + len <= mr.len as u64,
+            "send range outside registered region"
+        );
+        assert!(!self.send_closed, "exs_send after exs_shutdown");
+        if len == 0 {
+            self.events.push(ExsEvent::SendComplete { id, len: 0 });
+            return;
+        }
+        let (addr, key) = if self.cfg.mode == ProtocolMode::BCopy {
+            // rsockets-style BCopy: copy the user data into an internal
+            // staging region first (charged to the sender's CPU), then
+            // transfer from the staging copy. The user buffer is
+            // conceptually reusable immediately; the completion event
+            // still marks when the *stream* consumed the data.
+            let stage = api.register_mr(len as usize, Access::NONE);
+            api.copy_mr(mr.key, mr.addr + offset, stage.key, stage.addr, len)
+                .expect("BCopy staging copy");
+            self.staging.insert(id, stage.key);
+            (stage.addr, stage.key)
+        } else {
+            (mr.addr + offset, mr.key)
+        };
+        self.pending_sends.push_back(PendingSend {
+            id,
+            addr,
+            len,
+            key,
+            dispatched: 0,
+        });
+        self.inflight.insert(
+            id,
+            SendTrack {
+                len,
+                outstanding: 0,
+                dispatched_all: false,
+            },
+        );
+        self.pump_sends(api);
+        self.flush_ctrl(api);
+    }
+
+    /// Asynchronous receive (ES-API `exs_recv`): queues the operation and
+    /// returns immediately. Completion is reported via
+    /// [`ExsEvent::RecvComplete`]. With `waitall` (MSG_WAITALL) the
+    /// receive completes only when the buffer is full; otherwise it
+    /// completes with whatever bytes the next transfer delivers.
+    pub fn exs_recv(
+        &mut self,
+        api: &mut impl VerbsPort,
+        mr: &MrInfo,
+        offset: u64,
+        len: u32,
+        waitall: bool,
+        id: u64,
+    ) {
+        assert!(
+            offset + len as u64 <= mr.len as u64,
+            "receive range outside registered region"
+        );
+        if self.eof_delivered {
+            // End-of-stream: complete immediately with zero bytes, like
+            // read(2) at EOF.
+            self.events.push(ExsEvent::RecvComplete { id, len: 0 });
+            return;
+        }
+        let op = RecvOp {
+            id,
+            addr: mr.addr + offset,
+            len,
+            key: mr.key.0,
+            waitall,
+        };
+        let mut actions = std::mem::take(&mut self.actions_scratch);
+        self.receiver.push_recv(op, &mut self.stats, &mut actions);
+        self.execute_actions(api, &mut actions);
+        self.actions_scratch = actions;
+        self.flush_ctrl(api);
+        self.check_eof(api);
+    }
+
+    /// Best-effort cancellation of a pending operation (ES-API
+    /// `exs_cancel`). A receive cancels only while un-advertised and
+    /// empty; a send cancels only before any of its bytes entered the
+    /// stream. Returns true if the operation was removed (no completion
+    /// event will follow).
+    pub fn exs_cancel(&mut self, id: u64) -> bool {
+        // Try the receive queue first.
+        if self.receiver.cancel_recv(id) {
+            return true;
+        }
+        // A send is cancellable while fully undispatched.
+        if let Some(pos) = self
+            .pending_sends
+            .iter()
+            .position(|p| p.id == id && p.dispatched == 0)
+        {
+            self.pending_sends.remove(pos);
+            self.inflight.remove(&id);
+            self.staging.remove(&id);
+            return true;
+        }
+        false
+    }
+
+    /// Half-closes the sending direction (ES-API `exs_shutdown` with
+    /// SHUT_WR): queued data still drains, then a FIN tells the peer the
+    /// final stream length. Idempotent; sends after shutdown panic.
+    pub fn exs_shutdown(&mut self, api: &mut impl VerbsPort) {
+        self.send_closed = true;
+        self.try_queue_fin(api);
+    }
+
+    /// True once the local sending direction is closed.
+    pub fn send_closed(&self) -> bool {
+        self.send_closed
+    }
+
+    /// True once the peer's stream has fully ended (FIN seen and every
+    /// byte delivered).
+    pub fn peer_closed(&self) -> bool {
+        self.eof_delivered
+    }
+
+    fn try_queue_fin(&mut self, api: &mut impl VerbsPort) {
+        // The FIN must follow the last data WWI on the FIFO channel, so
+        // it can be queued as soon as every byte has been dispatched.
+        if !self.send_closed || self.fin_queued || !self.pending_sends.is_empty() {
+            return;
+        }
+        self.fin_queued = true;
+        self.pending_ctrl.push_back(Ctrl::Fin {
+            final_seq: self.sender.seq().0,
+        });
+        self.flush_ctrl(api);
+    }
+
+    /// Delivers end-of-stream if the peer has closed and all its bytes
+    /// have been consumed.
+    fn check_eof(&mut self, api: &mut impl VerbsPort) {
+        let Some(final_seq) = self.peer_fin else {
+            return;
+        };
+        if self.eof_delivered || self.receiver.seq().0 != final_seq {
+            return;
+        }
+        debug_assert_eq!(self.receiver.buffered(), 0);
+        self.eof_delivered = true;
+        let mut actions = std::mem::take(&mut self.actions_scratch);
+        self.receiver.flush_eof(&mut self.stats, &mut actions);
+        self.execute_actions(api, &mut actions);
+        self.actions_scratch = actions;
+        self.events.push(ExsEvent::PeerClosed);
+    }
+
+    /// True once the transport failed underneath the socket.
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    fn mark_broken(&mut self) {
+        if !self.broken {
+            self.broken = true;
+            self.events.push(ExsEvent::ConnectionError);
+        }
+    }
+
+    /// Drives the socket from a node wake: drains both completion
+    /// queues, advances the protocol, and queues user events.
+    pub fn handle_wake(&mut self, api: &mut impl VerbsPort) {
+        let mut cqes: Vec<Cqe> = Vec::new();
+        api.poll_cq(self.recv_cq, usize::MAX, &mut cqes)
+            .expect("poll recv cq");
+        let recv_count = cqes.len();
+        api.poll_cq(self.send_cq, usize::MAX, &mut cqes)
+            .expect("poll send cq");
+        for (i, cqe) in cqes.into_iter().enumerate() {
+            if i < recv_count {
+                self.on_recv_cqe(api, cqe);
+            } else {
+                self.on_send_cqe(api, cqe);
+            }
+        }
+        if self.broken {
+            return;
+        }
+        self.pump_sends(api);
+        self.try_queue_fin(api);
+        self.flush_ctrl(api);
+        self.maybe_send_credit(api);
+        self.check_eof(api);
+    }
+
+    /// Takes the accumulated user events.
+    pub fn take_events(&mut self) -> Vec<ExsEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn on_recv_cqe(&mut self, api: &mut impl VerbsPort, cqe: Cqe) {
+        if cqe.status != WcStatus::Success {
+            self.mark_broken();
+            return;
+        }
+        api.charge_cqe_cost();
+        match cqe.opcode {
+            WcOpcode::RecvRdmaWithImm => {
+                let (kind, len) = decode_imm(cqe.imm.expect("WWI carries imm"));
+                debug_assert_eq!(len, cqe.byte_len, "imm length mismatch");
+                let mut actions = std::mem::take(&mut self.actions_scratch);
+                match kind {
+                    TransferKind::Direct => {
+                        self.receiver.on_direct(len, &mut self.stats, &mut actions)
+                    }
+                    TransferKind::Indirect => {
+                        self.receiver
+                            .on_indirect(len, &mut self.stats, &mut actions)
+                    }
+                }
+                self.execute_actions(api, &mut actions);
+                self.actions_scratch = actions;
+            }
+            WcOpcode::Recv => {
+                // Control message: parse from the slot buffer.
+                let slot = cqe.wr_id;
+                let mut buf = [0u8; CTRL_MSG_LEN];
+                api.read_mr(
+                    self.ctrl_mr.key,
+                    self.ctrl_mr.addr + slot * CTRL_SLOT,
+                    &mut buf,
+                )
+                .expect("control slot read");
+                let msg = CtrlMsg::decode(&buf).expect("control message decode");
+                self.peer_credits += msg.credit_return;
+                match msg.ctrl {
+                    Ctrl::Advert(ad) => self.sender.push_advert(ad, &mut self.stats),
+                    Ctrl::Ack { freed } => self.sender.on_ack(freed, &mut self.stats),
+                    Ctrl::Credit => {}
+                    Ctrl::Fin { final_seq } => {
+                        debug_assert!(self.peer_fin.is_none(), "duplicate FIN");
+                        self.peer_fin = Some(final_seq);
+                    }
+                    Ctrl::DataNotify { imm } => {
+                        // iWARP emulation: the preceding RDMA WRITE has
+                        // already placed the data (FIFO); this SEND is
+                        // the notification the native path carries as
+                        // immediate data.
+                        let (kind, len) = decode_imm(imm);
+                        let mut actions = std::mem::take(&mut self.actions_scratch);
+                        match kind {
+                            TransferKind::Direct => {
+                                self.receiver.on_direct(len, &mut self.stats, &mut actions)
+                            }
+                            TransferKind::Indirect => {
+                                self.receiver
+                                    .on_indirect(len, &mut self.stats, &mut actions)
+                            }
+                        }
+                        self.execute_actions(api, &mut actions);
+                        self.actions_scratch = actions;
+                    }
+                }
+            }
+            other => panic!("unexpected receive-side completion {other:?}"),
+        }
+        // Re-post the consumed slot immediately and account the return.
+        let slot = cqe.wr_id;
+        let sge = self.ctrl_mr.sge(slot * CTRL_SLOT, CTRL_SLOT as u32);
+        api.post_recv(self.qpn, RecvWr::new(slot, sge))
+            .expect("re-posting control receive");
+        self.owed_credits += 1;
+    }
+
+    fn on_send_cqe(&mut self, api: &mut impl VerbsPort, cqe: Cqe) {
+        if cqe.status != WcStatus::Success {
+            self.mark_broken();
+            return;
+        }
+        api.charge_cqe_cost();
+        debug_assert_eq!(cqe.opcode, WcOpcode::RdmaWrite);
+        let Some(owner) = self.wwi_owner.remove(&cqe.wr_id) else {
+            panic!("send completion for unknown WWI wr_id {}", cqe.wr_id);
+        };
+        let track = self
+            .inflight
+            .get_mut(&owner)
+            .expect("send track for completed WWI");
+        track.outstanding -= 1;
+        if track.outstanding == 0 && track.dispatched_all {
+            let track = self.inflight.remove(&owner).expect("checked above");
+            if let Some(stage_key) = self.staging.remove(&owner) {
+                api.deregister_mr(stage_key).expect("free staging region");
+            }
+            self.stats.sends_completed += 1;
+            self.stats.bytes_sent += track.len;
+            self.events.push(ExsEvent::SendComplete {
+                id: owner,
+                len: track.len,
+            });
+        }
+    }
+
+    fn pump_sends(&mut self, api: &mut impl VerbsPort) {
+        loop {
+            let Some(head) = self.pending_sends.front() else {
+                return;
+            };
+            // Resource gates: a WWI needs a peer receive credit (it
+            // consumes a posted RECV) and a send-queue slot.
+            if self.peer_credits <= CREDIT_RESERVE {
+                return;
+            }
+            if api.sq_outstanding(self.qpn) >= self.cfg.sq_depth {
+                return;
+            }
+            let remaining = head.len - head.dispatched;
+            let Some(plan) = self.sender.plan_transfer(remaining, &mut self.stats) else {
+                return;
+            };
+            self.issue_wwi(api, plan);
+        }
+    }
+
+    fn issue_wwi(&mut self, api: &mut impl VerbsPort, plan: WwiPlan) {
+        let head = self.pending_sends.front_mut().expect("pump checked head");
+        let wr_id = self.next_wr;
+        self.next_wr += 1;
+        let sge = Sge::new(head.addr + head.dispatched, plan.len, head.key);
+        let kind = if plan.indirect {
+            TransferKind::Indirect
+        } else {
+            TransferKind::Direct
+        };
+        let remote = RemoteAddr {
+            addr: plan.raddr,
+            rkey: MrKey(plan.rkey),
+        };
+        let imm = encode_imm(kind, plan.len);
+        match self.cfg.wwi_mode {
+            WwiMode::Native => {
+                api.post_send(self.qpn, SendWr::write_imm(wr_id, sge, remote, imm))
+                    .expect("posting WWI");
+            }
+            WwiMode::WritePlusSend => {
+                // Old-iWARP emulation (paper §II-B): a plain RDMA WRITE
+                // places the data, then a small SEND notifies the peer.
+                // The QP's FIFO ordering guarantees the notification
+                // arrives after the data. The WRITE carries the signaled
+                // completion (buffer ownership); the notification SEND
+                // also returns any accumulated credit.
+                api.post_send(self.qpn, SendWr::write(wr_id, sge, remote))
+                    .expect("posting emulated WWI write");
+                let msg = CtrlMsg {
+                    ctrl: Ctrl::DataNotify { imm },
+                    credit_return: self.owed_credits,
+                };
+                self.owed_credits = 0;
+                api.post_send(
+                    self.qpn,
+                    SendWr::send_inline(u64::MAX, msg.encode().to_vec()).unsignaled(),
+                )
+                .expect("posting emulated WWI notification");
+            }
+        }
+        self.peer_credits -= 1;
+        self.wwi_owner.insert(wr_id, head.id);
+        let track = self.inflight.get_mut(&head.id).expect("inflight entry");
+        track.outstanding += 1;
+        head.dispatched += plan.len as u64;
+        if head.dispatched == head.len {
+            track.dispatched_all = true;
+            self.pending_sends.pop_front();
+        }
+    }
+
+    fn execute_actions(&mut self, api: &mut impl VerbsPort, actions: &mut Vec<RecvAction>) {
+        for action in actions.drain(..) {
+            match action {
+                RecvAction::Copy {
+                    src_addr,
+                    dst_addr,
+                    dst_key,
+                    len,
+                } => {
+                    api.copy_mr(self.ring_mr.key, src_addr, MrKey(dst_key), dst_addr, len)
+                        .expect("intermediate buffer copy-out");
+                }
+                RecvAction::SendAdvert(ad) => self.pending_ctrl.push_back(Ctrl::Advert(ad)),
+                RecvAction::SendAck { freed } => self.pending_ctrl.push_back(Ctrl::Ack { freed }),
+                RecvAction::Complete { id, len } => {
+                    self.events.push(ExsEvent::RecvComplete { id, len })
+                }
+            }
+        }
+        self.flush_ctrl(api);
+    }
+
+    fn flush_ctrl(&mut self, api: &mut impl VerbsPort) {
+        while let Some(front) = self.pending_ctrl.front() {
+            let needed = match front {
+                Ctrl::Credit => CREDIT_RESERVE,
+                _ => CREDIT_RESERVE + 1,
+            };
+            if self.peer_credits < needed {
+                return;
+            }
+            if api.sq_outstanding(self.qpn) >= self.cfg.sq_depth {
+                return;
+            }
+            let ctrl = self.pending_ctrl.pop_front().expect("front exists");
+            let msg = CtrlMsg {
+                ctrl,
+                credit_return: self.owed_credits,
+            };
+            self.owed_credits = 0;
+            let wr = SendWr::send_inline(u64::MAX, msg.encode().to_vec()).unsignaled();
+            api.post_send(self.qpn, wr)
+                .expect("posting control message");
+            self.peer_credits -= 1;
+        }
+    }
+
+    fn maybe_send_credit(&mut self, api: &mut impl VerbsPort) {
+        if self.owed_credits >= self.credit_threshold
+            && self.peer_credits >= CREDIT_RESERVE
+            && !self.pending_ctrl.iter().any(|c| matches!(c, Ctrl::Credit))
+        {
+            self.pending_ctrl.push_back(Ctrl::Credit);
+            self.stats.credits_sent += 1;
+            self.flush_ctrl(api);
+        }
+    }
+}
+
+impl PreparedSocket {
+    /// Low-level constructor for backends that manage their own verbs
+    /// objects (the threaded fabric): the caller has already created the
+    /// QP/CQs, registered `ring_mr` (local+remote write) and `ctrl_mr`
+    /// (local write, `credits` × 64-byte slots), and pre-posted one
+    /// receive per slot with `wr_id == slot`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw(
+        node: NodeId,
+        qpn: QpNum,
+        send_cq: CqId,
+        recv_cq: CqId,
+        cfg: ExsConfig,
+        ring_mr: MrInfo,
+        ctrl_mr: MrInfo,
+    ) -> (PreparedSocket, SetupInfo) {
+        let info = SetupInfo {
+            ring_addr: ring_mr.addr,
+            ring_rkey: ring_mr.key.0,
+            ring_capacity: cfg.ring_capacity,
+            credits: cfg.credits,
+        };
+        (
+            PreparedSocket {
+                node,
+                qpn,
+                send_cq,
+                recv_cq,
+                cfg,
+                ring_mr,
+                ctrl_mr,
+            },
+            info,
+        )
+    }
+}
+
+/// Intermediate product of [`StreamSocket::prepare`]: everything local is
+/// set up; the peer's [`SetupInfo`] completes the socket.
+pub struct PreparedSocket {
+    node: NodeId,
+    qpn: QpNum,
+    send_cq: CqId,
+    recv_cq: CqId,
+    cfg: ExsConfig,
+    ring_mr: MrInfo,
+    ctrl_mr: MrInfo,
+}
+
+impl PreparedSocket {
+    /// Finishes construction with the peer's parameters.
+    pub fn complete(self, peer: SetupInfo) -> StreamSocket {
+        let sender = SenderHalf::new(
+            self.cfg.mode,
+            RemoteRing {
+                addr: peer.ring_addr,
+                rkey: peer.ring_rkey,
+                capacity: peer.ring_capacity,
+            },
+            self.cfg.max_wwi_chunk,
+        );
+        let receiver = ReceiverHalf::new(
+            self.cfg.mode,
+            LocalRing {
+                addr: self.ring_mr.addr,
+                key: self.ring_mr.key.0,
+                capacity: self.cfg.ring_capacity,
+            },
+            self.cfg.effective_ack_threshold(),
+        );
+        let credit_threshold = self.cfg.effective_credit_threshold();
+        StreamSocket {
+            node: self.node,
+            qpn: self.qpn,
+            send_cq: self.send_cq,
+            recv_cq: self.recv_cq,
+            sender,
+            receiver,
+            ring_mr: self.ring_mr,
+            ctrl_mr: self.ctrl_mr,
+            pending_sends: VecDeque::new(),
+            inflight: HashMap::new(),
+            wwi_owner: HashMap::new(),
+            next_wr: 1,
+            peer_credits: peer.credits,
+            owed_credits: 0,
+            credit_threshold,
+            pending_ctrl: VecDeque::new(),
+            events: Vec::new(),
+            stats: ConnStats::default(),
+            actions_scratch: Vec::new(),
+            staging: HashMap::new(),
+            send_closed: false,
+            fin_queued: false,
+            peer_fin: None,
+            eof_delivered: false,
+            broken: false,
+            cfg: self.cfg,
+        }
+    }
+}

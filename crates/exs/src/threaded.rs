@@ -1,0 +1,524 @@
+//! Blocking, thread-safe stream sockets over the real-thread fabric.
+//!
+//! The paper's stated problem is "to design a **thread-safe** algorithm
+//! that combines the zero-copy benefit of RDMA with the fast send
+//! response benefit of TCP-style buffering" (§I). The deterministic
+//! simulator regenerates the figures; this module runs the *same*
+//! protocol state machines under genuine OS concurrency:
+//!
+//! * a [`ThreadStream`] endpoint wraps a [`StreamSocket`] in a mutex;
+//! * a service thread per endpoint waits on the node's completion
+//!   signal, drives `handle_wake`, and publishes completion events;
+//! * any number of application threads issue sends and receives
+//!   concurrently and block on their completions.
+//!
+//! Concurrent `send` calls are each atomic in the byte stream (the
+//! socket lock orders them); the interleaving *between* threads is
+//! unspecified, exactly like concurrent `write(2)` on a pipe.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use rdma_verbs::threaded::{ThreadNet, ThreadNode};
+use rdma_verbs::{Access, CqId, Cqe, MrInfo, MrKey, QpCaps, QpNum, RecvWr, Result, SendWr};
+
+use crate::config::ExsConfig;
+use crate::port::VerbsPort;
+use crate::stream::{ExsEvent, PreparedSocket, StreamSocket, CTRL_SLOT};
+
+/// [`VerbsPort`] implementation over a [`ThreadNet`] node.
+pub struct ThreadPort<'a> {
+    net: &'a ThreadNet,
+    node: &'a Arc<ThreadNode>,
+}
+
+impl<'a> ThreadPort<'a> {
+    /// Builds a port for one node.
+    pub fn new(net: &'a ThreadNet, node: &'a Arc<ThreadNode>) -> Self {
+        ThreadPort { net, node }
+    }
+}
+
+impl VerbsPort for ThreadPort<'_> {
+    fn post_send(&mut self, qpn: QpNum, wr: SendWr) -> Result<()> {
+        self.net.post_send(self.node, qpn, wr)
+    }
+
+    fn post_recv(&mut self, qpn: QpNum, wr: RecvWr) -> Result<()> {
+        self.node.post_recv(qpn, wr)
+    }
+
+    fn poll_cq(&mut self, cq: CqId, max: usize, out: &mut Vec<Cqe>) -> Result<usize> {
+        self.node.poll_cq(cq, max, out)
+    }
+
+    fn read_mr(&self, key: MrKey, addr: u64, buf: &mut [u8]) -> Result<()> {
+        self.node.with_hca(|h| h.mem().app_read(key, addr, buf))
+    }
+
+    fn copy_mr(
+        &mut self,
+        src_key: MrKey,
+        src_addr: u64,
+        dst_key: MrKey,
+        dst_addr: u64,
+        len: u64,
+    ) -> Result<u64> {
+        self.node.with_hca(|h| {
+            h.mem_mut()
+                .local_copy(src_key, src_addr, dst_key, dst_addr, len)
+        })
+    }
+
+    fn charge_cqe_cost(&mut self) {
+        // Real threads spend real time; no modelled CPU.
+    }
+
+    fn sq_outstanding(&self, qpn: QpNum) -> usize {
+        self.node
+            .with_hca(|h| h.qp(qpn).map(|q| q.sq_outstanding()).unwrap_or(usize::MAX))
+    }
+
+    fn register_mr(&mut self, len: usize, access: Access) -> MrInfo {
+        self.node.with_hca(|h| h.register_mr(len, access))
+    }
+
+    fn deregister_mr(&mut self, key: MrKey) -> Result<()> {
+        self.node.with_hca(|h| h.deregister_mr(key))
+    }
+}
+
+#[derive(Default)]
+struct EventBuf {
+    sends_done: HashMap<u64, u64>,
+    recvs_done: HashMap<u64, u32>,
+    peer_closed: bool,
+    broken: bool,
+}
+
+struct Shared {
+    sock: Mutex<StreamSocket>,
+    events: Mutex<EventBuf>,
+    cv: Condvar,
+    stop: AtomicBool,
+}
+
+/// A blocking, thread-safe stream endpoint.
+///
+/// Cloning the handle (via `Arc`) lets many threads share one
+/// connection; each operation blocks its calling thread until the
+/// protocol reports completion.
+///
+/// ```
+/// use exs::{ExsConfig, ThreadStream};
+/// use std::time::Duration;
+///
+/// let (a, b) = ThreadStream::pair(&ExsConfig::default(), Duration::ZERO);
+/// let writer = std::thread::spawn(move || {
+///     a.send_bytes(b"hello").unwrap();
+/// });
+/// let mut buf = [0u8; 5];
+/// b.recv_exact(&mut buf).unwrap();
+/// assert_eq!(&buf, b"hello");
+/// writer.join().unwrap();
+/// ```
+pub struct ThreadStream {
+    net: Arc<ThreadNet>,
+    node: Arc<ThreadNode>,
+    shared: Arc<Shared>,
+    next_id: AtomicU64,
+    service: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadStream {
+    /// Creates a connected pair of blocking stream endpoints over a
+    /// fresh two-node thread fabric with the given real link delay.
+    pub fn pair(cfg: &ExsConfig, delay: Duration) -> (ThreadStream, ThreadStream) {
+        let mut net = ThreadNet::new();
+        let a = net.add_node(rdma_verbs::HcaConfig::default());
+        let b = net.add_node(rdma_verbs::HcaConfig::default());
+        net.connect_nodes(&a, &b, delay);
+        let net = Arc::new(net);
+
+        let prep = |node: &Arc<ThreadNode>, peer_qpn_slot: &mut Option<QpNum>| {
+            let caps = QpCaps {
+                max_send_wr: cfg.sq_depth * 2 + 8,
+                max_recv_wr: cfg.credits as usize + 8,
+                max_inline: 256,
+            };
+            let cq_depth = cfg.sq_depth * 2 + cfg.credits as usize * 2;
+            node.with_hca(|h| {
+                let send_cq = h.create_cq(cq_depth);
+                let recv_cq = h.create_cq(cq_depth);
+                let qpn = h.create_qp(send_cq, recv_cq, caps).expect("create qp");
+                let ring_mr =
+                    h.register_mr(cfg.ring_capacity as usize, Access::local_remote_write());
+                let ctrl_mr = h.register_mr(
+                    (cfg.credits as u64 * CTRL_SLOT) as usize,
+                    Access::LOCAL_WRITE,
+                );
+                *peer_qpn_slot = Some(qpn);
+                (send_cq, recv_cq, qpn, ring_mr, ctrl_mr)
+            })
+        };
+        let mut qa = None;
+        let mut qb = None;
+        let (a_scq, a_rcq, a_qp, a_ring, a_ctrl) = prep(&a, &mut qa);
+        let (b_scq, b_rcq, b_qp, b_ring, b_ctrl) = prep(&b, &mut qb);
+        a.with_hca(|h| h.connect_qp(a_qp, (b.id(), b_qp)).expect("connect a"));
+        b.with_hca(|h| h.connect_qp(b_qp, (a.id(), a_qp)).expect("connect b"));
+        for (node, qpn, ctrl) in [(&a, a_qp, a_ctrl), (&b, b_qp, b_ctrl)] {
+            for slot in 0..cfg.credits {
+                let sge = ctrl.sge(slot as u64 * CTRL_SLOT, CTRL_SLOT as u32);
+                node.post_recv(qpn, RecvWr::new(slot as u64, sge))
+                    .expect("pre-post control receive");
+            }
+        }
+
+        let (pa, ia) =
+            PreparedSocket::from_raw(a.id(), a_qp, a_scq, a_rcq, cfg.clone(), a_ring, a_ctrl);
+        let (pb, ib) =
+            PreparedSocket::from_raw(b.id(), b_qp, b_scq, b_rcq, cfg.clone(), b_ring, b_ctrl);
+        let sock_a = pa.complete(ib);
+        let sock_b = pb.complete(ia);
+
+        (
+            ThreadStream::start(net.clone(), a, sock_a),
+            ThreadStream::start(net, b, sock_b),
+        )
+    }
+
+    fn start(net: Arc<ThreadNet>, node: Arc<ThreadNode>, sock: StreamSocket) -> ThreadStream {
+        let shared = Arc::new(Shared {
+            sock: Mutex::new(sock),
+            events: Mutex::new(EventBuf::default()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let service = {
+            let shared = shared.clone();
+            let net = net.clone();
+            let node = node.clone();
+            std::thread::spawn(move || {
+                let mut seen = node.generation();
+                while !shared.stop.load(Ordering::Acquire) {
+                    seen = node.wait_any(seen, Duration::from_millis(50));
+                    let events = {
+                        let mut sock = shared.sock.lock();
+                        let mut port = ThreadPort::new(&net, &node);
+                        sock.handle_wake(&mut port);
+                        sock.take_events()
+                    };
+                    if !events.is_empty() {
+                        let mut buf = shared.events.lock();
+                        for ev in events {
+                            match ev {
+                                ExsEvent::SendComplete { id, len } => {
+                                    buf.sends_done.insert(id, len);
+                                }
+                                ExsEvent::RecvComplete { id, len } => {
+                                    buf.recvs_done.insert(id, len);
+                                }
+                                ExsEvent::PeerClosed => {
+                                    buf.peer_closed = true;
+                                }
+                                ExsEvent::ConnectionError => {
+                                    buf.broken = true;
+                                }
+                            }
+                        }
+                        drop(buf);
+                        shared.cv.notify_all();
+                    }
+                }
+            })
+        };
+        ThreadStream {
+            net,
+            node,
+            shared,
+            next_id: AtomicU64::new(1),
+            service: Some(service),
+        }
+    }
+
+    /// The endpoint's node (for memory registration and inspection).
+    pub fn node(&self) -> &Arc<ThreadNode> {
+        &self.node
+    }
+
+    /// Registers I/O memory on this endpoint's node.
+    pub fn register(&self, len: usize, access: Access) -> MrInfo {
+        self.node.with_hca(|h| h.register_mr(len, access))
+    }
+
+    /// Starts an asynchronous send from registered memory; returns the
+    /// operation id. The buffer must stay untouched until
+    /// [`ThreadStream::wait_send`] returns it.
+    pub fn send(&self, mr: &MrInfo, offset: u64, len: u64) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut sock = self.shared.sock.lock();
+        let mut port = ThreadPort::new(&self.net, &self.node);
+        sock.exs_send(&mut port, mr, offset, len, id);
+        let events = sock.take_events();
+        drop(sock);
+        self.publish(events);
+        id
+    }
+
+    /// Starts an asynchronous receive into registered memory.
+    pub fn recv(&self, mr: &MrInfo, offset: u64, len: u32, waitall: bool) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut sock = self.shared.sock.lock();
+        let mut port = ThreadPort::new(&self.net, &self.node);
+        sock.exs_recv(&mut port, mr, offset, len, waitall, id);
+        let events = sock.take_events();
+        drop(sock);
+        self.publish(events);
+        id
+    }
+
+    fn publish(&self, events: Vec<ExsEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        let mut buf = self.shared.events.lock();
+        for ev in events {
+            match ev {
+                ExsEvent::SendComplete { id, len } => {
+                    buf.sends_done.insert(id, len);
+                }
+                ExsEvent::RecvComplete { id, len } => {
+                    buf.recvs_done.insert(id, len);
+                }
+                ExsEvent::PeerClosed => {
+                    buf.peer_closed = true;
+                }
+                ExsEvent::ConnectionError => {
+                    buf.broken = true;
+                }
+            }
+        }
+        drop(buf);
+        self.shared.cv.notify_all();
+    }
+
+    /// Blocks until send `id` completes; returns the bytes sent, or
+    /// `None` on timeout.
+    pub fn wait_send(&self, id: u64, timeout: Duration) -> Option<u64> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut buf = self.shared.events.lock();
+        loop {
+            if let Some(len) = buf.sends_done.remove(&id) {
+                return Some(len);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.shared
+                .cv
+                .wait_for(&mut buf, deadline.saturating_duration_since(now));
+        }
+    }
+
+    /// Blocks until receive `id` completes; returns the bytes received,
+    /// or `None` on timeout.
+    pub fn wait_recv(&self, id: u64, timeout: Duration) -> Option<u32> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut buf = self.shared.events.lock();
+        loop {
+            if let Some(len) = buf.recvs_done.remove(&id) {
+                return Some(len);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.shared
+                .cv
+                .wait_for(&mut buf, deadline.saturating_duration_since(now));
+        }
+    }
+
+    /// Convenience: sends `data` through an internal staging buffer and
+    /// blocks until the stream has consumed it. Atomic in the stream
+    /// with respect to other concurrent `send_bytes` calls.
+    pub fn send_bytes(&self, data: &[u8]) -> std::result::Result<(), &'static str> {
+        let mr = self.register(data.len().max(1), Access::NONE);
+        self.node
+            .with_hca(|h| h.mem_mut().app_write(mr.key, mr.addr, data))
+            .map_err(|_| "staging write failed")?;
+        let id = self.send(&mr, 0, data.len() as u64);
+        self.wait_send(id, Duration::from_secs(30))
+            .map(|_| ())
+            .ok_or("send timed out")
+    }
+
+    /// Convenience: blocks until exactly `buf.len()` bytes arrive
+    /// (MSG_WAITALL through an internal staging buffer).
+    pub fn recv_exact(&self, buf: &mut [u8]) -> std::result::Result<(), &'static str> {
+        let mr = self.register(buf.len().max(1), Access::local_remote_write());
+        let id = self.recv(&mr, 0, buf.len() as u32, true);
+        self.wait_recv(id, Duration::from_secs(30))
+            .ok_or("receive timed out")?;
+        self.node
+            .with_hca(|h| h.mem().app_read(mr.key, mr.addr, buf))
+            .map_err(|_| "staging read failed")
+    }
+
+    /// Half-closes the sending direction; queued data still drains.
+    pub fn shutdown(&self) {
+        let mut sock = self.shared.sock.lock();
+        let mut port = ThreadPort::new(&self.net, &self.node);
+        sock.exs_shutdown(&mut port);
+    }
+
+    /// True once the peer has closed and its stream fully drained.
+    pub fn peer_closed(&self) -> bool {
+        self.shared.events.lock().peer_closed
+    }
+
+    /// True once the transport failed underneath the socket.
+    pub fn is_broken(&self) -> bool {
+        self.shared.events.lock().broken
+    }
+
+    /// Protocol statistics snapshot.
+    pub fn stats(&self) -> crate::stats::ConnStats {
+        self.shared.sock.lock().stats().clone()
+    }
+}
+
+impl Drop for ThreadStream {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        if let Some(h) = self.service.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_roundtrip() {
+        let (a, b) = ThreadStream::pair(&ExsConfig::default(), Duration::ZERO);
+        let writer = std::thread::spawn(move || {
+            a.send_bytes(b"hello from a real thread").unwrap();
+            a
+        });
+        let mut buf = [0u8; 24];
+        b.recv_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello from a real thread");
+        let a = writer.join().unwrap();
+        let st = a.stats();
+        assert_eq!(st.bytes_sent, 24);
+    }
+
+    #[test]
+    fn bidirectional_exchange() {
+        let (a, b) = ThreadStream::pair(&ExsConfig::default(), Duration::from_micros(200));
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 4];
+            b.recv_exact(&mut buf).unwrap();
+            assert_eq!(&buf, b"ping");
+            b.send_bytes(b"pong").unwrap();
+        });
+        a.send_bytes(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        a.recv_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+        t.join().unwrap();
+    }
+
+    /// Many writer threads share one stream; a framing layer proves that
+    /// each send was atomic in the byte stream and nothing was lost,
+    /// duplicated or reordered within a thread — the thread-safety
+    /// property the paper's algorithm claims.
+    #[test]
+    fn concurrent_writers_frames_stay_atomic() {
+        const WRITERS: usize = 4;
+        const FRAMES: usize = 40;
+
+        let (a, b) = ThreadStream::pair(&ExsConfig::default(), Duration::ZERO);
+        let a = Arc::new(a);
+
+        let mut total = 0usize;
+        let mut frame_lens = vec![Vec::new(); WRITERS];
+        let mut rng = 0x12345u64;
+        for (t, lens) in frame_lens.iter_mut().enumerate() {
+            for _ in 0..FRAMES {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(t as u64 + 1);
+                let len = 16 + (rng >> 33) as usize % 2000;
+                lens.push(len);
+                total += len + 8; // 8-byte header
+            }
+        }
+
+        let reader = std::thread::spawn(move || {
+            // Parse frames off the stream: [thread u32][len u32][payload]
+            let mut seen = vec![0u32; WRITERS];
+            let mut remaining = total;
+            while remaining > 0 {
+                let mut header = [0u8; 8];
+                b.recv_exact(&mut header).unwrap();
+                let thread = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+                let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+                assert!(thread < WRITERS, "corrupted frame header");
+                let mut payload = vec![0u8; len];
+                b.recv_exact(&mut payload).unwrap();
+                // Payload bytes encode (thread, per-thread frame number).
+                let frame_no = seen[thread];
+                for (i, &byte) in payload.iter().enumerate() {
+                    let expect = (thread as u8)
+                        .wrapping_mul(31)
+                        .wrapping_add(frame_no as u8)
+                        .wrapping_add(i as u8);
+                    assert_eq!(byte, expect, "frame payload torn");
+                }
+                seen[thread] += 1;
+                remaining -= len + 8;
+            }
+            seen
+        });
+
+        std::thread::scope(|s| {
+            for (t, lens) in frame_lens.iter().enumerate() {
+                let a = a.clone();
+                s.spawn(move || {
+                    for (frame_no, &len) in lens.iter().enumerate() {
+                        let mut frame = Vec::with_capacity(len + 8);
+                        frame.extend_from_slice(&(t as u32).to_le_bytes());
+                        frame.extend_from_slice(&(len as u32).to_le_bytes());
+                        frame.extend((0..len).map(|i| {
+                            (t as u8)
+                                .wrapping_mul(31)
+                                .wrapping_add(frame_no as u8)
+                                .wrapping_add(i as u8)
+                        }));
+                        a.send_bytes(&frame).unwrap();
+                    }
+                });
+            }
+        });
+
+        let seen = reader.join().unwrap();
+        assert_eq!(seen, vec![FRAMES as u32; WRITERS]);
+    }
+
+    #[test]
+    fn wait_times_out() {
+        let (a, _b) = ThreadStream::pair(&ExsConfig::default(), Duration::ZERO);
+        assert_eq!(a.wait_send(9999, Duration::from_millis(50)), None);
+        assert_eq!(a.wait_recv(9999, Duration::from_millis(50)), None);
+    }
+}

@@ -1,0 +1,64 @@
+//! Tests for the rsockets-style BCopy baseline (paper §II-A): buffer
+//! copies on both the send and the receive side, no ADVERTs, no
+//! zero-copy — the mode the paper's protocol exists to improve upon.
+
+use blast::{run_blast, BlastSpec, SizeDist, VerifyLevel};
+use exs::{ExsConfig, ProtocolMode};
+use rdma_verbs::profiles;
+
+fn spec(mode: ProtocolMode) -> BlastSpec {
+    BlastSpec {
+        cfg: ExsConfig::with_mode(mode),
+        outstanding_sends: 4,
+        outstanding_recvs: 8,
+        sizes: SizeDist::Fixed(256 << 10),
+        messages: 60,
+        verify: VerifyLevel::Full,
+        seed: 77,
+        ..BlastSpec::new(profiles::fdr_infiniband())
+    }
+}
+
+#[test]
+fn bcopy_delivers_verified_stream() {
+    let report = run_blast(&spec(ProtocolMode::BCopy));
+    assert_eq!(report.bytes, 60 * (256 << 10));
+    // Everything goes through the intermediate buffer.
+    assert_eq!(report.direct_transfers, 0);
+    assert!(report.indirect_transfers > 0);
+}
+
+#[test]
+fn bcopy_costs_sender_cpu() {
+    let bcopy = run_blast(&spec(ProtocolMode::BCopy));
+    let indirect = run_blast(&spec(ProtocolMode::IndirectOnly));
+    let dynamic = run_blast(&BlastSpec {
+        outstanding_recvs: 16,
+        ..spec(ProtocolMode::Dynamic)
+    });
+    // BCopy pays a full extra copy at the sender.
+    assert!(
+        bcopy.cpu_sender > indirect.cpu_sender * 2.0,
+        "BCopy sender CPU {} should far exceed zero-copy-send {}",
+        bcopy.cpu_sender,
+        indirect.cpu_sender
+    );
+    // And the dynamic protocol (direct in this configuration) beats it
+    // on throughput — the paper's motivation for zero-copy.
+    assert!(
+        dynamic.throughput_bps() > bcopy.throughput_bps(),
+        "dynamic {} should beat bcopy {}",
+        dynamic.throughput_bps(),
+        bcopy.throughput_bps()
+    );
+}
+
+#[test]
+fn bcopy_throughput_at_or_below_indirect() {
+    // The receive path is identical to indirect-only; the sender-side
+    // copy can only slow things down (or not, if the wire is the
+    // bottleneck).
+    let bcopy = run_blast(&spec(ProtocolMode::BCopy));
+    let indirect = run_blast(&spec(ProtocolMode::IndirectOnly));
+    assert!(bcopy.throughput_bps() <= indirect.throughput_bps() * 1.05);
+}

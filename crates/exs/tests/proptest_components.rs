@@ -1,0 +1,123 @@
+//! Property tests for the protocol's data-plane components: the ring
+//! buffer arithmetic and the control-message codecs.
+
+use proptest::prelude::*;
+
+use exs::buffer::{ReceiverRing, SenderRing};
+use exs::messages::{decode_imm, encode_imm, Advert, Ctrl, CtrlMsg, TransferKind, MAX_WWI_LEN};
+use exs::{Phase, Seq};
+
+proptest! {
+    /// Distributed ring invariant: driving the sender and receiver views
+    /// through a FIFO channel with arbitrary interleaving keeps the
+    /// offsets aligned and the byte conservation exact.
+    #[test]
+    fn ring_views_stay_consistent(
+        capacity in 16u64..100_000,
+        ops in proptest::collection::vec((1u64..50_000, any::<bool>()), 1..300),
+    ) {
+        let mut s = SenderRing::new(capacity);
+        let mut r = ReceiverRing::new(capacity);
+        // In-flight FIFO between commit (sender) and arrival (receiver),
+        // and between consume (receiver) and release (sender).
+        let mut data_fifo: Vec<u64> = Vec::new();
+        let mut ack_fifo: Vec<u64> = Vec::new();
+
+        for &(amount, write_side) in &ops {
+            if write_side {
+                let (off, len) = s.contiguous_reservation(amount);
+                prop_assert!(len <= amount);
+                if len > 0 {
+                    prop_assert!(off < capacity);
+                    s.commit(len);
+                    data_fifo.push(len);
+                }
+            } else {
+                // Deliver one pending write, then consume some, then ack.
+                if let Some(n) = data_fifo.first().copied() {
+                    data_fifo.remove(0);
+                    r.arrived(n);
+                }
+                let (_, len) = r.contiguous_read(amount);
+                if len > 0 {
+                    r.consume(len);
+                    ack_fifo.push(len);
+                }
+                if let Some(n) = ack_fifo.first().copied() {
+                    ack_fifo.remove(0);
+                    s.release(n);
+                }
+            }
+            // Conservation: the sender's in-use count equals bytes still
+            // in flight toward the ring, bytes sitting in the ring, and
+            // frees whose ACK has not yet been applied.
+            let unacked: u64 = ack_fifo.iter().sum();
+            let pending_arrival: u64 = data_fifo.iter().sum();
+            prop_assert_eq!(
+                s.in_use(),
+                pending_arrival + r.count() + unacked,
+                "byte conservation broken"
+            );
+        }
+    }
+
+    /// Control messages round-trip for arbitrary field values.
+    #[test]
+    fn ctrl_roundtrip(
+        seq in any::<u64>(),
+        phase in 0u32..1_000_000,
+        addr in any::<u64>(),
+        len in any::<u32>(),
+        rkey in any::<u32>(),
+        waitall in any::<bool>(),
+        credit in any::<u32>(),
+        freed in any::<u64>(),
+    ) {
+        // Lemma 1 constrains real adverts to even phases; the codec
+        // itself must be lossless either way.
+        for ctrl in [
+            Ctrl::Advert(Advert {
+                seq: Seq(seq),
+                phase: Phase(phase),
+                addr,
+                len,
+                rkey,
+                waitall,
+            }),
+            Ctrl::Ack { freed },
+            Ctrl::Credit,
+            Ctrl::DataNotify { imm: len },
+        ] {
+            let msg = CtrlMsg {
+                ctrl,
+                credit_return: credit,
+            };
+            prop_assert_eq!(CtrlMsg::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    /// The WWI immediate encoding is lossless across its whole domain.
+    #[test]
+    fn imm_roundtrip(len in 0u32..=MAX_WWI_LEN, indirect in any::<bool>()) {
+        let kind = if indirect {
+            TransferKind::Indirect
+        } else {
+            TransferKind::Direct
+        };
+        let (k, l) = decode_imm(encode_imm(kind, len));
+        prop_assert_eq!(k, kind);
+        prop_assert_eq!(l, len);
+    }
+
+    /// Phase parity/ordering laws.
+    #[test]
+    fn phase_laws(p in 0u32..u32::MAX - 2) {
+        let phase = Phase(p);
+        prop_assert_ne!(phase.is_direct(), phase.is_indirect());
+        prop_assert_eq!(phase.next().is_direct(), phase.is_indirect());
+        prop_assert!(phase.next() > phase);
+        let mut adv = phase;
+        adv.advance_to(Phase(p + 2));
+        prop_assert_eq!(adv, Phase(p + 2));
+    }
+}

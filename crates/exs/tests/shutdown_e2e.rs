@@ -1,0 +1,212 @@
+//! Graceful shutdown (FIN / end-of-stream) tests: the sender half-closes,
+//! queued data still drains, the receiver sees exactly the stream's
+//! bytes followed by end-of-stream, in every protocol mode.
+
+use exs::{ExsConfig, ExsEvent, ProtocolMode, StreamSocket};
+use rdma_verbs::profiles::{fdr_infiniband, ideal};
+use rdma_verbs::{Access, MrInfo, NodeApi, NodeApp, SimNet};
+use simnet::SimTime;
+
+struct ClosingSender {
+    sock: Option<StreamSocket>,
+    mr: Option<MrInfo>,
+    msgs: Vec<u64>,
+    acked: usize,
+    shutdown_sent: bool,
+}
+
+impl NodeApp for ClosingSender {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        let mr = self.mr.unwrap();
+        let mut off = 0u64;
+        for (i, &len) in self.msgs.iter().enumerate() {
+            let data: Vec<u8> = (0..len).map(|j| (off + j) as u8).collect();
+            api.write_mr(mr.key, mr.addr + off, &data).unwrap();
+            self.sock
+                .as_mut()
+                .unwrap()
+                .exs_send(api, &mr, off, len, i as u64);
+            off += len;
+        }
+        // Half-close immediately, with everything still in flight: the
+        // FIN must trail the data.
+        self.sock.as_mut().unwrap().exs_shutdown(api);
+        self.shutdown_sent = true;
+    }
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        self.sock.as_mut().unwrap().handle_wake(api);
+        for ev in self.sock.as_mut().unwrap().take_events() {
+            if matches!(ev, ExsEvent::SendComplete { .. }) {
+                self.acked += 1;
+            }
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.acked == self.msgs.len()
+    }
+}
+
+struct DrainingReceiver {
+    sock: Option<StreamSocket>,
+    mr: Option<MrInfo>,
+    received: u64,
+    expected: u64,
+    eof_seen: bool,
+    zero_len_recv: bool,
+    next_id: u64,
+    post_after_eof_done: bool,
+}
+
+impl DrainingReceiver {
+    fn pump(&mut self, api: &mut NodeApi<'_>) {
+        loop {
+            let events = self.sock.as_mut().unwrap().take_events();
+            let mut progressed = false;
+            for ev in events {
+                match ev {
+                    ExsEvent::RecvComplete { len, .. } => {
+                        if len == 0 {
+                            self.zero_len_recv = true;
+                        }
+                        let mr = self.mr.unwrap();
+                        let mut buf = vec![0u8; len as usize];
+                        api.read_mr(mr.key, mr.addr, &mut buf).unwrap();
+                        for (i, &b) in buf.iter().enumerate() {
+                            assert_eq!(b, (self.received + i as u64) as u8);
+                        }
+                        self.received += len as u64;
+                        progressed = true;
+                    }
+                    ExsEvent::PeerClosed => {
+                        assert_eq!(
+                            self.received, self.expected,
+                            "EOF before the stream drained"
+                        );
+                        self.eof_seen = true;
+                        progressed = true;
+                    }
+                    other => panic!("unexpected event {other:?}"),
+                }
+            }
+            // Keep one receive posted until EOF; after EOF post one more
+            // to observe the zero-length completion.
+            let sock = self.sock.as_mut().unwrap();
+            if !self.eof_seen {
+                if sock.recvs_pending() == 0 && self.received < self.expected {
+                    let mr = self.mr.unwrap();
+                    sock.exs_recv(api, &mr, 0, 4096, false, self.next_id);
+                    self.next_id += 1;
+                    progressed = true;
+                }
+            } else if !self.post_after_eof_done {
+                let mr = self.mr.unwrap();
+                sock.exs_recv(api, &mr, 0, 4096, false, 999_999);
+                self.post_after_eof_done = true;
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+}
+
+impl NodeApp for DrainingReceiver {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        self.pump(api);
+    }
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        self.sock.as_mut().unwrap().handle_wake(api);
+        self.pump(api);
+    }
+    fn is_done(&self) -> bool {
+        self.eof_seen && self.zero_len_recv
+    }
+}
+
+fn run_close(mode: ProtocolMode, msgs: Vec<u64>) -> (ClosingSender, DrainingReceiver) {
+    let profile = if mode == ProtocolMode::Dynamic {
+        fdr_infiniband()
+    } else {
+        ideal()
+    };
+    let total: u64 = msgs.iter().sum();
+    let mut net = SimNet::new();
+    let a = net.add_node(profile.host.clone(), profile.hca.clone());
+    let b = net.add_node(profile.host.clone(), profile.hca.clone());
+    net.connect_nodes(a, b, profile.link.clone(), 6);
+    let (sa, sb) = StreamSocket::pair(&mut net, a, b, &ExsConfig::with_mode(mode));
+    let mut tx = ClosingSender {
+        sock: Some(sa),
+        mr: None,
+        msgs,
+        acked: 0,
+        shutdown_sent: false,
+    };
+    let mut rx = DrainingReceiver {
+        sock: Some(sb),
+        mr: None,
+        received: 0,
+        expected: total,
+        eof_seen: false,
+        zero_len_recv: false,
+        next_id: 0,
+        post_after_eof_done: false,
+    };
+    net.with_api(a, |api| {
+        tx.mr = Some(api.register_mr(total.max(1) as usize, Access::NONE));
+    });
+    net.with_api(b, |api| {
+        rx.mr = Some(api.register_mr(4096, Access::local_remote_write()));
+    });
+    let outcome = net.run(&mut [&mut tx, &mut rx], SimTime::from_secs(30));
+    assert!(
+        outcome.completed,
+        "close flow stalled: received {}/{} eof={} zero={}",
+        rx.received, rx.expected, rx.eof_seen, rx.zero_len_recv
+    );
+    (tx, rx)
+}
+
+#[test]
+fn shutdown_drains_then_eof_all_modes() {
+    for mode in [
+        ProtocolMode::Dynamic,
+        ProtocolMode::DirectOnly,
+        ProtocolMode::IndirectOnly,
+    ] {
+        let (_, rx) = run_close(mode, vec![5000, 1, 12_000, 300]);
+        assert_eq!(rx.received, 17_301, "mode {mode:?}");
+        assert!(rx.eof_seen);
+        assert!(rx.zero_len_recv, "post-EOF receive must complete empty");
+    }
+}
+
+#[test]
+fn shutdown_of_empty_stream() {
+    let (_, rx) = run_close(ProtocolMode::Dynamic, vec![]);
+    assert_eq!(rx.received, 0);
+    assert!(rx.eof_seen);
+}
+
+#[test]
+fn shutdown_is_idempotent_and_blocks_sends() {
+    let profile = ideal();
+    let mut net = SimNet::new();
+    let a = net.add_node(profile.host.clone(), profile.hca.clone());
+    let b = net.add_node(profile.host.clone(), profile.hca.clone());
+    net.connect_nodes(a, b, profile.link.clone(), 7);
+    let (mut sa, _sb) = StreamSocket::pair(&mut net, a, b, &ExsConfig::default());
+    net.with_api(a, |api| {
+        sa.exs_shutdown(api);
+        sa.exs_shutdown(api); // idempotent
+        assert!(sa.send_closed());
+    });
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        net.with_api(a, |api| {
+            let mr = api.register_mr(8, Access::NONE);
+            sa.exs_send(api, &mr, 0, 8, 1);
+        });
+    }));
+    assert!(result.is_err(), "send after shutdown must panic");
+}

@@ -1,0 +1,253 @@
+//! Additional socket-level edge-case tests: BCopy staging lifecycle,
+//! WAITALL interaction with dynamic mode switches, zero-copy contract
+//! sanity, and statistics accounting.
+
+use exs::{ExsConfig, ExsEvent, ProtocolMode, StreamSocket, WwiMode};
+use rdma_verbs::profiles::ideal;
+use rdma_verbs::{Access, NodeApi, NodeApp, SimNet};
+use simnet::SimTime;
+
+struct Pump<'s> {
+    sock: &'s mut StreamSocket,
+    events: Vec<ExsEvent>,
+    until_sends: usize,
+    until_recv_bytes: u64,
+    got_bytes: u64,
+    got_sends: usize,
+}
+
+impl NodeApp for Pump<'_> {
+    fn on_start(&mut self, _api: &mut NodeApi<'_>) {}
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        self.sock.handle_wake(api);
+        for ev in self.sock.take_events() {
+            match ev {
+                ExsEvent::SendComplete { .. } => self.got_sends += 1,
+                ExsEvent::RecvComplete { len, .. } => self.got_bytes += len as u64,
+                _ => {}
+            }
+            self.events.push(ev);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.got_sends >= self.until_sends && self.got_bytes >= self.until_recv_bytes
+    }
+}
+
+fn two_nodes(net: &mut SimNet) -> (rdma_verbs::NodeId, rdma_verbs::NodeId) {
+    let profile = ideal();
+    let a = net.add_node(profile.host.clone(), profile.hca.clone());
+    let b = net.add_node(profile.host.clone(), profile.hca.clone());
+    net.connect_nodes(a, b, profile.link.clone(), 30);
+    (a, b)
+}
+
+#[test]
+fn bcopy_staging_regions_are_freed() {
+    let mut net = SimNet::new();
+    let (a, b) = two_nodes(&mut net);
+    let (mut sa, mut sb) =
+        StreamSocket::pair(&mut net, a, b, &ExsConfig::with_mode(ProtocolMode::BCopy));
+
+    let (user_mr, initial_regions) = net.with_api(a, |api| {
+        let mr = api.register_mr(4096, Access::NONE);
+        (mr, api.hca().mem().len())
+    });
+    let recv_mr = net.with_api(b, |api| api.register_mr(4096, Access::local_remote_write()));
+
+    // Three sends, each staging a copy.
+    net.with_api(a, |api| {
+        for i in 0..3 {
+            sa.exs_send(api, &user_mr, 0, 1000, i);
+        }
+        assert_eq!(
+            api.hca().mem().len(),
+            initial_regions + 3,
+            "three staging regions live"
+        );
+    });
+    net.with_api(b, |api| {
+        for i in 0..3 {
+            sb.exs_recv(api, &recv_mr, 0, 1000, true, i);
+        }
+    });
+
+    let mut pa = Pump {
+        sock: &mut sa,
+        events: Vec::new(),
+        until_sends: 3,
+        until_recv_bytes: 0,
+        got_bytes: 0,
+        got_sends: 0,
+    };
+    let mut pb = Pump {
+        sock: &mut sb,
+        events: Vec::new(),
+        until_sends: 0,
+        until_recv_bytes: 3000,
+        got_bytes: 0,
+        got_sends: 0,
+    };
+    let outcome = net.run(&mut [&mut pa, &mut pb], SimTime::from_secs(1));
+    assert!(outcome.completed);
+
+    net.with_api(a, |api| {
+        assert_eq!(
+            api.hca().mem().len(),
+            initial_regions,
+            "staging regions must be deregistered after completion"
+        );
+    });
+}
+
+#[test]
+fn bcopy_user_buffer_content_is_snapshotted() {
+    // The whole point of BCopy: the user buffer may be reused right
+    // after exs_send returns, because the library copied it.
+    let mut net = SimNet::new();
+    let (a, b) = two_nodes(&mut net);
+    let (mut sa, mut sb) =
+        StreamSocket::pair(&mut net, a, b, &ExsConfig::with_mode(ProtocolMode::BCopy));
+    let user_mr = net.with_api(a, |api| api.register_mr(64, Access::NONE));
+    let recv_mr = net.with_api(b, |api| api.register_mr(64, Access::local_remote_write()));
+
+    net.with_api(a, |api| {
+        api.write_mr(user_mr.key, user_mr.addr, b"first!").unwrap();
+        sa.exs_send(api, &user_mr, 0, 6, 1);
+        // Clobber immediately — the staged copy must survive.
+        api.write_mr(user_mr.key, user_mr.addr, b"XXXXXX").unwrap();
+    });
+    net.with_api(b, |api| {
+        sb.exs_recv(api, &recv_mr, 0, 6, true, 1);
+    });
+    let mut pa = Pump {
+        sock: &mut sa,
+        events: Vec::new(),
+        until_sends: 1,
+        until_recv_bytes: 0,
+        got_bytes: 0,
+        got_sends: 0,
+    };
+    let mut pb = Pump {
+        sock: &mut sb,
+        events: Vec::new(),
+        until_sends: 0,
+        until_recv_bytes: 6,
+        got_bytes: 0,
+        got_sends: 0,
+    };
+    assert!(
+        net.run(&mut [&mut pa, &mut pb], SimTime::from_secs(1))
+            .completed
+    );
+    net.with_api(b, |api| {
+        let mut buf = [0u8; 6];
+        api.read_mr(recv_mr.key, recv_mr.addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"first!", "BCopy must snapshot the payload");
+    });
+}
+
+#[test]
+fn zero_copy_mode_reads_buffer_at_post_time() {
+    // Contrast with BCopy: in the zero-copy modes the simulator gathers
+    // the payload when the WQE is posted, which models the contract that
+    // the buffer belongs to the HCA from post until completion.
+    let mut net = SimNet::new();
+    let (a, b) = two_nodes(&mut net);
+    let (mut sa, mut sb) = StreamSocket::pair(
+        &mut net,
+        a,
+        b,
+        &ExsConfig::with_mode(ProtocolMode::IndirectOnly),
+    );
+    let user_mr = net.with_api(a, |api| api.register_mr(64, Access::NONE));
+    let recv_mr = net.with_api(b, |api| api.register_mr(64, Access::local_remote_write()));
+    net.with_api(a, |api| {
+        api.write_mr(user_mr.key, user_mr.addr, b"posted").unwrap();
+        sa.exs_send(api, &user_mr, 0, 6, 1);
+    });
+    net.with_api(b, |api| {
+        sb.exs_recv(api, &recv_mr, 0, 6, true, 1);
+    });
+    let mut pa = Pump {
+        sock: &mut sa,
+        events: Vec::new(),
+        until_sends: 1,
+        until_recv_bytes: 0,
+        got_bytes: 0,
+        got_sends: 0,
+    };
+    let mut pb = Pump {
+        sock: &mut sb,
+        events: Vec::new(),
+        until_sends: 0,
+        until_recv_bytes: 6,
+        got_bytes: 0,
+        got_sends: 0,
+    };
+    assert!(
+        net.run(&mut [&mut pa, &mut pb], SimTime::from_secs(1))
+            .completed
+    );
+    net.with_api(b, |api| {
+        let mut buf = [0u8; 6];
+        api.read_mr(recv_mr.key, recv_mr.addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"posted");
+    });
+}
+
+#[test]
+fn stats_account_for_bytes_and_messages() {
+    let mut net = SimNet::new();
+    let (a, b) = two_nodes(&mut net);
+    let (mut sa, mut sb) = StreamSocket::pair(
+        &mut net,
+        a,
+        b,
+        &ExsConfig {
+            wwi_mode: WwiMode::Native,
+            ..ExsConfig::with_mode(ProtocolMode::Dynamic)
+        },
+    );
+    let user_mr = net.with_api(a, |api| api.register_mr(10_000, Access::NONE));
+    let recv_mr = net.with_api(b, |api| {
+        api.register_mr(10_000, Access::local_remote_write())
+    });
+    net.with_api(b, |api| {
+        sb.exs_recv(api, &recv_mr, 0, 10_000, true, 1);
+    });
+    net.with_api(a, |api| {
+        sa.exs_send(api, &user_mr, 0, 4_000, 1);
+        sa.exs_send(api, &user_mr, 4_000, 6_000, 2);
+    });
+    let mut pa = Pump {
+        sock: &mut sa,
+        events: Vec::new(),
+        until_sends: 2,
+        until_recv_bytes: 0,
+        got_bytes: 0,
+        got_sends: 0,
+    };
+    let mut pb = Pump {
+        sock: &mut sb,
+        events: Vec::new(),
+        until_sends: 0,
+        until_recv_bytes: 10_000,
+        got_bytes: 0,
+        got_sends: 0,
+    };
+    assert!(
+        net.run(&mut [&mut pa, &mut pb], SimTime::from_secs(1))
+            .completed
+    );
+
+    let st = pa.sock.stats();
+    assert_eq!(st.sends_completed, 2);
+    assert_eq!(st.bytes_sent, 10_000);
+    assert_eq!(st.direct_bytes + st.indirect_bytes, 10_000);
+    let rt = pb.sock.stats();
+    assert_eq!(rt.recvs_completed, 1);
+    assert_eq!(rt.bytes_received, 10_000);
+    // The WAITALL advert accepted both sends.
+    assert_eq!(rt.adverts_sent, 1);
+}

@@ -1,0 +1,248 @@
+//! End-to-end tests for the iWARP WWI emulation (paper §II-B): every
+//! transfer becomes an RDMA WRITE followed by a small notification SEND,
+//! and the stream must behave byte-for-byte identically to native WWI.
+
+use exs::{ExsConfig, ExsEvent, ProtocolMode, StreamSocket, WwiMode};
+use rdma_verbs::profiles::{fdr_infiniband, ideal};
+use rdma_verbs::{Access, MrInfo, NodeApi, NodeApp, SimNet};
+use simnet::SimTime;
+
+fn pattern(i: u64) -> u8 {
+    (i.wrapping_mul(97).wrapping_add(13)) as u8
+}
+
+struct Tx {
+    sock: Option<StreamSocket>,
+    mr: Option<MrInfo>,
+    msgs: Vec<u64>,
+    next: usize,
+    acked: usize,
+    pos: u64,
+}
+
+impl NodeApp for Tx {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        let mr = self.mr.unwrap();
+        let mut off = 0u64;
+        for (i, &len) in self.msgs.iter().enumerate() {
+            let data: Vec<u8> = (0..len).map(|j| pattern(self.pos + j)).collect();
+            api.write_mr(mr.key, mr.addr + off, &data).unwrap();
+            self.sock
+                .as_mut()
+                .unwrap()
+                .exs_send(api, &mr, off, len, i as u64);
+            self.pos += len;
+            off += len;
+            self.next += 1;
+        }
+    }
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        self.sock.as_mut().unwrap().handle_wake(api);
+        for ev in self.sock.as_mut().unwrap().take_events() {
+            if matches!(ev, ExsEvent::SendComplete { .. }) {
+                self.acked += 1;
+            }
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.acked == self.msgs.len()
+    }
+}
+
+struct Rx {
+    sock: Option<StreamSocket>,
+    mr: Option<MrInfo>,
+    recv_len: u32,
+    expected: u64,
+    received: u64,
+    next_id: u64,
+}
+
+impl Rx {
+    fn pump(&mut self, api: &mut NodeApi<'_>) {
+        loop {
+            let events = self.sock.as_mut().unwrap().take_events();
+            let mut progressed = false;
+            for ev in events {
+                if let ExsEvent::RecvComplete { len, .. } = ev {
+                    let mr = self.mr.unwrap();
+                    let mut buf = vec![0u8; len as usize];
+                    api.read_mr(mr.key, mr.addr, &mut buf).unwrap();
+                    for (i, &b) in buf.iter().enumerate() {
+                        assert_eq!(
+                            b,
+                            pattern(self.received + i as u64),
+                            "corruption at {}",
+                            self.received + i as u64
+                        );
+                    }
+                    self.received += len as u64;
+                    progressed = true;
+                }
+            }
+            if self.received < self.expected && self.sock.as_ref().unwrap().recvs_pending() == 0 {
+                let mr = self.mr.unwrap();
+                self.sock.as_mut().unwrap().exs_recv(
+                    api,
+                    &mr,
+                    0,
+                    self.recv_len,
+                    false,
+                    self.next_id,
+                );
+                self.next_id += 1;
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+}
+
+impl NodeApp for Rx {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        self.pump(api);
+    }
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        self.sock.as_mut().unwrap().handle_wake(api);
+        self.pump(api);
+    }
+    fn is_done(&self) -> bool {
+        self.received >= self.expected
+    }
+}
+
+fn run(
+    profile: rdma_verbs::HwProfile,
+    wwi_mode: WwiMode,
+    mode: ProtocolMode,
+    msgs: Vec<u64>,
+) -> (Tx, Rx, SimNet) {
+    let total: u64 = msgs.iter().sum();
+    let mut net = SimNet::new();
+    let a = net.add_node(profile.host.clone(), profile.hca.clone());
+    let b = net.add_node(profile.host.clone(), profile.hca.clone());
+    net.connect_nodes(a, b, profile.link.clone(), 4);
+    let cfg = ExsConfig {
+        wwi_mode,
+        ..ExsConfig::with_mode(mode)
+    };
+    let (sa, sb) = StreamSocket::pair(&mut net, a, b, &cfg);
+    let mut tx = Tx {
+        sock: Some(sa),
+        mr: None,
+        msgs,
+        next: 0,
+        acked: 0,
+        pos: 0,
+    };
+    let mut rx = Rx {
+        sock: Some(sb),
+        mr: None,
+        recv_len: 8192,
+        expected: total,
+        received: 0,
+        next_id: 0,
+    };
+    net.with_api(a, |api| {
+        tx.mr = Some(api.register_mr(total as usize, Access::NONE));
+    });
+    net.with_api(b, |api| {
+        rx.mr = Some(api.register_mr(8192, Access::local_remote_write()));
+    });
+    let outcome = net.run(&mut [&mut tx, &mut rx], SimTime::from_secs(30));
+    assert!(
+        outcome.completed,
+        "run stalled: acked {}/{} received {}/{}",
+        tx.acked,
+        tx.msgs.len(),
+        rx.received,
+        total
+    );
+    (tx, rx, net)
+}
+
+#[test]
+fn emulated_wwi_delivers_identically_in_all_modes() {
+    let msgs = vec![100, 5000, 1, 9000, 4096, 777];
+    for mode in [
+        ProtocolMode::Dynamic,
+        ProtocolMode::DirectOnly,
+        ProtocolMode::IndirectOnly,
+    ] {
+        let (_, rx_native, _) = run(ideal(), WwiMode::Native, mode, msgs.clone());
+        let (_, rx_emulated, _) = run(ideal(), WwiMode::WritePlusSend, mode, msgs.clone());
+        assert_eq!(rx_native.received, rx_emulated.received, "mode {mode:?}");
+        assert_eq!(rx_emulated.received, msgs.iter().sum::<u64>());
+    }
+}
+
+#[test]
+fn emulation_costs_extra_wire_messages() {
+    let msgs = vec![4096; 20];
+    let (tx_n, _, net_n) = run(
+        fdr_infiniband(),
+        WwiMode::Native,
+        ProtocolMode::Dynamic,
+        msgs.clone(),
+    );
+    let (tx_e, _, net_e) = run(
+        fdr_infiniband(),
+        WwiMode::WritePlusSend,
+        ProtocolMode::Dynamic,
+        msgs,
+    );
+    let st_n = tx_n.sock.as_ref().unwrap().stats();
+    let st_e = tx_e.sock.as_ref().unwrap().stats();
+    assert_eq!(
+        st_n.total_transfers(),
+        st_e.total_transfers(),
+        "same data transfers"
+    );
+    // The emulation must take at least as long: one extra WQE + wire
+    // message per transfer.
+    assert!(net_e.now() >= net_n.now(), "emulation cannot be faster");
+}
+
+#[test]
+fn emulated_wwi_with_tiny_ring_flow_control() {
+    let cfg_msgs = vec![30_000; 10];
+    let profile = ideal();
+    let total: u64 = cfg_msgs.iter().sum();
+    let mut net = SimNet::new();
+    let a = net.add_node(profile.host.clone(), profile.hca.clone());
+    let b = net.add_node(profile.host.clone(), profile.hca.clone());
+    net.connect_nodes(a, b, profile.link.clone(), 5);
+    let cfg = ExsConfig {
+        wwi_mode: WwiMode::WritePlusSend,
+        ring_capacity: 4096,
+        ..ExsConfig::with_mode(ProtocolMode::IndirectOnly)
+    };
+    let (sa, sb) = StreamSocket::pair(&mut net, a, b, &cfg);
+    let mut tx = Tx {
+        sock: Some(sa),
+        mr: None,
+        msgs: cfg_msgs,
+        next: 0,
+        acked: 0,
+        pos: 0,
+    };
+    let mut rx = Rx {
+        sock: Some(sb),
+        mr: None,
+        recv_len: 8192,
+        expected: total,
+        received: 0,
+        next_id: 0,
+    };
+    net.with_api(a, |api| {
+        tx.mr = Some(api.register_mr(total as usize, Access::NONE));
+    });
+    net.with_api(b, |api| {
+        rx.mr = Some(api.register_mr(8192, Access::local_remote_write()));
+    });
+    let outcome = net.run(&mut [&mut tx, &mut rx], SimTime::from_secs(30));
+    assert!(outcome.completed);
+    assert_eq!(rx.received, total);
+}

@@ -1,0 +1,100 @@
+//! Connection management helpers.
+//!
+//! Real deployments use the RDMA connection manager (`rdma_cm`) to
+//! exchange QP numbers and transition QPs through INIT/RTR/RTS. The
+//! simulator performs that exchange out of band — connection setup is
+//! outside every timed window in the paper's experiments — but keeps the
+//! same observable result: a pair of RTS queue pairs bound to each other,
+//! each with its own send and receive completion queues.
+
+use crate::qp::QpCaps;
+use crate::sim::SimNet;
+use crate::types::{CqId, NodeId, QpNum, Result};
+
+/// One side of an established connection.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnHalf {
+    /// The node this half lives on.
+    pub node: NodeId,
+    /// The connected queue pair.
+    pub qpn: QpNum,
+    /// CQ receiving send completions.
+    pub send_cq: CqId,
+    /// CQ receiving receive completions.
+    pub recv_cq: CqId,
+}
+
+/// Creates CQs and a QP on each node and connects them, RTS on both
+/// sides. `cq_depth` of 0 uses the HCA default.
+pub fn connect_pair(
+    net: &mut SimNet,
+    a: NodeId,
+    b: NodeId,
+    caps: QpCaps,
+    cq_depth: usize,
+) -> Result<(ConnHalf, ConnHalf)> {
+    let (a_send, a_recv, a_qp) = net.with_api(a, |api| {
+        let send_cq = api.create_cq(cq_depth);
+        let recv_cq = api.create_cq(cq_depth);
+        let qpn = api.create_qp(send_cq, recv_cq, caps)?;
+        Ok::<_, crate::types::VerbsError>((send_cq, recv_cq, qpn))
+    })?;
+    let (b_send, b_recv, b_qp) = net.with_api(b, |api| {
+        let send_cq = api.create_cq(cq_depth);
+        let recv_cq = api.create_cq(cq_depth);
+        let qpn = api.create_qp(send_cq, recv_cq, caps)?;
+        Ok::<_, crate::types::VerbsError>((send_cq, recv_cq, qpn))
+    })?;
+    net.with_api(a, |api| api.connect_qp(a_qp, (b, b_qp)))?;
+    net.with_api(b, |api| api.connect_qp(b_qp, (a, a_qp)))?;
+    Ok((
+        ConnHalf {
+            node: a,
+            qpn: a_qp,
+            send_cq: a_send,
+            recv_cq: a_recv,
+        },
+        ConnHalf {
+            node: b,
+            qpn: b_qp,
+            send_cq: b_send,
+            recv_cq: b_recv,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hca::HcaConfig;
+    use crate::host::HostModel;
+    use crate::qp::QpState;
+    use simnet::{LinkConfig, SimDuration};
+
+    #[test]
+    fn connect_pair_reaches_rts_both_sides() {
+        let mut net = SimNet::new();
+        let a = net.add_node(HostModel::free(), HcaConfig::default());
+        let b = net.add_node(HostModel::free(), HcaConfig::default());
+        net.connect_nodes(
+            a,
+            b,
+            LinkConfig::simple(10_000_000_000, SimDuration::from_micros(1)),
+            0,
+        );
+        let (ha, hb) = connect_pair(&mut net, a, b, QpCaps::default(), 128).unwrap();
+        assert_eq!(ha.node, a);
+        assert_eq!(hb.node, b);
+        net.with_api(a, |api| {
+            let qp = api.hca().qp(ha.qpn).unwrap();
+            assert_eq!(qp.state(), QpState::ReadyToSend);
+            assert_eq!(qp.remote(), Some((b, hb.qpn)));
+        });
+        net.with_api(b, |api| {
+            let qp = api.hca().qp(hb.qpn).unwrap();
+            assert_eq!(qp.state(), QpState::ReadyToSend);
+            assert_eq!(qp.remote(), Some((a, ha.qpn)));
+        });
+        assert_ne!(ha.send_cq, ha.recv_cq);
+    }
+}

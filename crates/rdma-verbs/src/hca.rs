@@ -1,0 +1,972 @@
+//! The simulated host channel adapter (HCA).
+//!
+//! [`HcaCore`] owns one node's verbs objects — memory table, queue pairs,
+//! completion queues — and implements the *time-passive* half of the HCA:
+//! validating work requests, gathering payloads, matching posted receives,
+//! performing DMA placement and generating completions. All timing (WQE
+//! processing latency, link serialization, propagation) is applied by the
+//! driver (`sim::SimNet` for virtual time, `threaded::ThreadNet` for real
+//! time), which is what lets both backends share this logic.
+//!
+//! Wire-facing behaviour follows RC semantics: operations are processed
+//! in arrival order, SEND and WRITE-WITH-IMM consume posted receives
+//! (receiver-not-ready is fatal — the EXS credit protocol must prevent it),
+//! RDMA WRITE/READ validate rkey, bounds and access flags against the
+//! registration table.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use simnet::SimDuration;
+
+use crate::cq::CompletionQueue;
+use crate::mr::{MemoryTable, MrInfo};
+use crate::qp::{QpCaps, QueuePair};
+use crate::types::{
+    Access, CqId, Cqe, MrKey, NodeId, QpNum, RecvWr, Result, SendOpcode, SendWr, Sge, VerbsError,
+    WcOpcode, WcStatus,
+};
+use crate::wire::{WireMessage, WireOp};
+
+/// Static HCA parameters.
+#[derive(Clone, Debug)]
+pub struct HcaConfig {
+    /// Per-WQE processing latency (doorbell to wire handoff).
+    pub wqe_process: SimDuration,
+    /// Default CQ capacity used by [`HcaCore::create_cq`] callers that do
+    /// not specify one.
+    pub default_cq_depth: usize,
+}
+
+impl Default for HcaConfig {
+    fn default() -> Self {
+        HcaConfig {
+            wqe_process: SimDuration::from_nanos(250),
+            default_cq_depth: 4096,
+        }
+    }
+}
+
+/// Side effects produced by HCA processing, applied by the driver.
+#[derive(Debug)]
+pub enum Effect {
+    /// A completion was queued on `cq`; `notify` is true if an armed
+    /// notification fired with it.
+    Completion {
+        /// Queue that received the completion.
+        cq: CqId,
+        /// True if the CQ was armed and the arm was consumed.
+        notify: bool,
+    },
+    /// The HCA originated a wire message itself (RDMA READ response);
+    /// the driver must run it through the transmit pipeline.
+    Transmit(WireMessage),
+    /// Unrecoverable protocol violation (receiver-not-ready, remote
+    /// access error). A real HCA would move the QP to the error state
+    /// after retries; the simulator surfaces it to the driver, which by
+    /// default treats it as a test failure.
+    Fatal {
+        /// The violated QP.
+        qpn: QpNum,
+        /// Classification.
+        status: WcStatus,
+        /// Human-readable detail for diagnostics.
+        detail: String,
+    },
+}
+
+/// A send work request validated and translated into wire form, plus the
+/// completion to deliver when transmission finishes.
+#[derive(Debug)]
+pub struct PreparedSend {
+    /// The message to carry to the peer.
+    pub msg: WireMessage,
+    /// Send-side completion to deliver at wire departure (`None` for
+    /// unsignaled sends and for RDMA READ, which completes on response).
+    pub completion_at_tx: Option<Cqe>,
+    /// True for RDMA READ requests: the SQ slot stays occupied until the
+    /// response arrives.
+    pub is_read: bool,
+}
+
+struct PendingRead {
+    qpn: QpNum,
+    wr_id: u64,
+    sge: Sge,
+    signaled: bool,
+}
+
+/// One node's verbs state.
+pub struct HcaCore {
+    node: NodeId,
+    cfg: HcaConfig,
+    mem: MemoryTable,
+    qps: HashMap<u32, QueuePair>,
+    cqs: HashMap<u32, CompletionQueue>,
+    next_qpn: u32,
+    next_cq: u32,
+    pending_reads: HashMap<u64, PendingRead>,
+    next_read_token: u64,
+}
+
+impl HcaCore {
+    /// Creates an empty HCA for `node`.
+    pub fn new(node: NodeId, cfg: HcaConfig) -> Self {
+        HcaCore {
+            node,
+            cfg,
+            mem: MemoryTable::new(),
+            qps: HashMap::new(),
+            cqs: HashMap::new(),
+            next_qpn: 1,
+            next_cq: 1,
+            pending_reads: HashMap::new(),
+            next_read_token: 1,
+        }
+    }
+
+    /// This HCA's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Static configuration.
+    pub fn config(&self) -> &HcaConfig {
+        &self.cfg
+    }
+
+    /// The registration table (application-side memory access).
+    pub fn mem(&self) -> &MemoryTable {
+        &self.mem
+    }
+
+    /// Mutable registration table.
+    pub fn mem_mut(&mut self) -> &mut MemoryTable {
+        &mut self.mem
+    }
+
+    /// Registers a memory region.
+    pub fn register_mr(&mut self, len: usize, access: Access) -> MrInfo {
+        self.mem.register(len, access)
+    }
+
+    /// Deregisters a memory region.
+    pub fn deregister_mr(&mut self, key: MrKey) -> Result<()> {
+        self.mem.deregister(key)
+    }
+
+    /// Creates a completion queue of the given depth (0 uses the
+    /// configured default).
+    pub fn create_cq(&mut self, depth: usize) -> CqId {
+        let id = CqId(self.next_cq);
+        self.next_cq += 1;
+        let depth = if depth == 0 {
+            self.cfg.default_cq_depth
+        } else {
+            depth
+        };
+        self.cqs.insert(id.0, CompletionQueue::new(id, depth));
+        id
+    }
+
+    /// Creates a queue pair in the RESET state.
+    pub fn create_qp(&mut self, send_cq: CqId, recv_cq: CqId, caps: QpCaps) -> Result<QpNum> {
+        if !self.cqs.contains_key(&send_cq.0) {
+            return Err(VerbsError::UnknownCq(send_cq));
+        }
+        if !self.cqs.contains_key(&recv_cq.0) {
+            return Err(VerbsError::UnknownCq(recv_cq));
+        }
+        let qpn = QpNum(self.next_qpn);
+        self.next_qpn += 1;
+        self.qps
+            .insert(qpn.0, QueuePair::new(qpn, send_cq, recv_cq, caps));
+        Ok(qpn)
+    }
+
+    /// Walks a QP through INIT → RTR → RTS against the given peer.
+    pub fn connect_qp(&mut self, qpn: QpNum, remote: (NodeId, QpNum)) -> Result<()> {
+        let qp = self.qp_mut(qpn)?;
+        qp.to_init()?;
+        qp.to_rtr(remote)?;
+        qp.to_rts()?;
+        Ok(())
+    }
+
+    /// Immutable QP access.
+    pub fn qp(&self, qpn: QpNum) -> Result<&QueuePair> {
+        self.qps.get(&qpn.0).ok_or(VerbsError::UnknownQp(qpn))
+    }
+
+    /// Mutable QP access.
+    pub fn qp_mut(&mut self, qpn: QpNum) -> Result<&mut QueuePair> {
+        self.qps.get_mut(&qpn.0).ok_or(VerbsError::UnknownQp(qpn))
+    }
+
+    /// Immutable CQ access.
+    pub fn cq(&self, cq: CqId) -> Result<&CompletionQueue> {
+        self.cqs.get(&cq.0).ok_or(VerbsError::UnknownCq(cq))
+    }
+
+    /// Mutable CQ access.
+    pub fn cq_mut(&mut self, cq: CqId) -> Result<&mut CompletionQueue> {
+        self.cqs.get_mut(&cq.0).ok_or(VerbsError::UnknownCq(cq))
+    }
+
+    /// Polls up to `max` completions from `cq`.
+    pub fn poll_cq(&mut self, cq: CqId, max: usize, out: &mut Vec<Cqe>) -> Result<usize> {
+        let q = self.cq_mut(cq)?;
+        assert!(
+            !q.overflowed(),
+            "completion queue {cq:?} overflowed: the ULP posted more work than CQ depth"
+        );
+        Ok(q.poll(max, out))
+    }
+
+    /// Arms `cq` for one notification. Returns `true` if completions are
+    /// already pending (caller should poll immediately).
+    pub fn arm_cq(&mut self, cq: CqId) -> Result<bool> {
+        Ok(self.cq_mut(cq)?.arm())
+    }
+
+    /// True if any CQ on this node holds completions (driver helper).
+    pub fn any_cq_nonempty(&self) -> bool {
+        self.cqs.values().any(|c| !c.is_empty())
+    }
+
+    /// Forces a QP into the error state (fault injection: cable pull,
+    /// retry exhaustion, peer death). Every posted receive is flushed
+    /// with a `WrFlushError` completion, as real RC hardware does, so
+    /// the ULP can learn which buffers were never filled.
+    pub fn fail_qp(&mut self, qpn: QpNum) -> Result<Vec<Effect>> {
+        let qp = self.qp_mut(qpn)?;
+        let recv_cq = qp.recv_cq();
+        let flushed = qp.to_error();
+        let mut effects = Vec::with_capacity(flushed.len());
+        for wr in flushed {
+            self.push_cqe(
+                recv_cq,
+                Cqe {
+                    wr_id: wr.wr_id,
+                    status: WcStatus::WrFlushError,
+                    opcode: WcOpcode::Recv,
+                    byte_len: 0,
+                    imm: None,
+                    qpn,
+                },
+                &mut effects,
+            );
+        }
+        Ok(effects)
+    }
+
+    /// Posts a receive WQE.
+    pub fn post_recv(&mut self, qpn: QpNum, wr: RecvWr) -> Result<()> {
+        // Validate the SGE eagerly so misuse fails at post time, like a
+        // real HCA's address translation check.
+        if let Some(sge) = wr.sge {
+            self.mem
+                .dma_read(sge.lkey, sge.addr, 0, Access::NONE)
+                .and_then(|_| {
+                    // Zero-length read checks the key; bounds for the full
+                    // span are checked here.
+                    self.mem
+                        .dma_read(sge.lkey, sge.addr, sge.len as u64, Access::NONE)
+                        .map(|_| ())
+                })?;
+        }
+        self.qp_mut(qpn)?.post_recv(wr)
+    }
+
+    /// Validates a send work request and translates it to wire form.
+    /// Timing and delivery are the driver's job.
+    pub fn prepare_send(&mut self, qpn: QpNum, wr: SendWr) -> Result<PreparedSend> {
+        let max_inline = self.qp(qpn)?.caps().max_inline;
+        if let Some(inline) = &wr.inline {
+            if inline.len() > max_inline {
+                return Err(VerbsError::InlineTooLarge {
+                    len: inline.len(),
+                    max: max_inline,
+                });
+            }
+        }
+        if wr.inline.is_some() && wr.sge.is_some() {
+            return Err(VerbsError::MalformedWr("both inline and sge present"));
+        }
+
+        // Gather the payload now: zero-copy contract says the app must
+        // not touch the buffer until completion, so the content at post
+        // time is the content on the wire.
+        let payload: Bytes = if let Some(inline) = &wr.inline {
+            inline.clone()
+        } else if let Some(sge) = &wr.sge {
+            if wr.opcode == SendOpcode::RdmaRead {
+                // Local destination: validated, not gathered.
+                self.mem
+                    .dma_read(sge.lkey, sge.addr, sge.len as u64, Access::NONE)?;
+                Bytes::new()
+            } else {
+                Bytes::from(
+                    self.mem
+                        .dma_read(sge.lkey, sge.addr, sge.len as u64, Access::NONE)?,
+                )
+            }
+        } else {
+            Bytes::new()
+        };
+
+        let qp = self.qp_mut(qpn)?;
+        let remote_qp = qp.remote().ok_or(VerbsError::NotConnected)?;
+        qp.reserve_sq_slot()?;
+        let src = (self.node, qpn);
+
+        let op = match wr.opcode {
+            SendOpcode::Send => WireOp::Send { imm: wr.imm },
+            SendOpcode::RdmaWrite => {
+                let r = wr
+                    .remote
+                    .ok_or(VerbsError::MalformedWr("RDMA WRITE without remote"))?;
+                WireOp::Write {
+                    raddr: r.addr,
+                    rkey: r.rkey,
+                }
+            }
+            SendOpcode::RdmaWriteImm => {
+                let r = wr
+                    .remote
+                    .ok_or(VerbsError::MalformedWr("RDMA WRITE IMM without remote"))?;
+                WireOp::WriteImm {
+                    raddr: r.addr,
+                    rkey: r.rkey,
+                    imm: wr.imm.ok_or(VerbsError::MalformedWr("WWI without imm"))?,
+                }
+            }
+            SendOpcode::RdmaRead => {
+                let r = wr
+                    .remote
+                    .ok_or(VerbsError::MalformedWr("RDMA READ without remote"))?;
+                let sge = wr
+                    .sge
+                    .ok_or(VerbsError::MalformedWr("RDMA READ without sge"))?;
+                let token = self.next_read_token;
+                self.next_read_token += 1;
+                self.pending_reads.insert(
+                    token,
+                    PendingRead {
+                        qpn,
+                        wr_id: wr.wr_id,
+                        sge,
+                        signaled: wr.signaled,
+                    },
+                );
+                WireOp::ReadReq {
+                    raddr: r.addr,
+                    rkey: r.rkey,
+                    len: sge.len,
+                    token,
+                }
+            }
+        };
+
+        let is_read = wr.opcode == SendOpcode::RdmaRead;
+        let completion_at_tx = if wr.signaled && !is_read {
+            Some(Cqe {
+                wr_id: wr.wr_id,
+                status: WcStatus::Success,
+                opcode: match wr.opcode {
+                    SendOpcode::Send => WcOpcode::Send,
+                    _ => WcOpcode::RdmaWrite,
+                },
+                byte_len: payload.len() as u32,
+                imm: None,
+                qpn,
+            })
+        } else {
+            None
+        };
+
+        Ok(PreparedSend {
+            msg: WireMessage {
+                src,
+                dst: remote_qp,
+                op,
+                payload,
+            },
+            completion_at_tx,
+            is_read,
+        })
+    }
+
+    /// Called by the driver when a non-READ send's wire transmission
+    /// finishes: frees the SQ slot and delivers the send completion.
+    pub fn tx_finished(&mut self, qpn: QpNum, completion: Option<Cqe>, effects: &mut Vec<Effect>) {
+        if let Ok(qp) = self.qp_mut(qpn) {
+            qp.release_sq_slot();
+        }
+        if let Some(cqe) = completion {
+            self.push_completion_for_send(qpn, cqe, effects);
+        }
+    }
+
+    fn push_completion_for_send(&mut self, qpn: QpNum, cqe: Cqe, effects: &mut Vec<Effect>) {
+        let cq = match self.qp(qpn) {
+            Ok(qp) => qp.send_cq(),
+            Err(_) => return,
+        };
+        self.push_cqe(cq, cqe, effects);
+    }
+
+    fn push_cqe(&mut self, cq: CqId, cqe: Cqe, effects: &mut Vec<Effect>) {
+        let q = self.cqs.get_mut(&cq.0).expect("CQ vanished");
+        let notify = q.push(cqe);
+        effects.push(Effect::Completion { cq, notify });
+    }
+
+    /// Processes an arriving wire message, producing completions,
+    /// responder transmissions and/or fatal errors.
+    pub fn handle_wire(&mut self, msg: WireMessage) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        let qpn = msg.dst.1;
+        match msg.op {
+            WireOp::Send { imm } => {
+                self.receive_into_posted(qpn, &msg.payload, imm, WcOpcode::Recv, &mut effects);
+            }
+            WireOp::Write { raddr, rkey } => {
+                if let Err(e) = self
+                    .mem
+                    .dma_write(rkey, raddr, &msg.payload, Access::REMOTE_WRITE)
+                {
+                    effects.push(Effect::Fatal {
+                        qpn,
+                        status: WcStatus::RemoteAccessError,
+                        detail: format!("RDMA WRITE rejected: {e}"),
+                    });
+                }
+            }
+            WireOp::WriteImm { raddr, rkey, imm } => {
+                if let Err(e) = self
+                    .mem
+                    .dma_write(rkey, raddr, &msg.payload, Access::REMOTE_WRITE)
+                {
+                    effects.push(Effect::Fatal {
+                        qpn,
+                        status: WcStatus::RemoteAccessError,
+                        detail: format!("RDMA WRITE WITH IMM rejected: {e}"),
+                    });
+                    return effects;
+                }
+                // The notification consumes a receive WQE, but the data
+                // was placed by the WRITE part: the RECV's own buffer is
+                // untouched.
+                match self.qp_mut(qpn).ok().and_then(|qp| qp.consume_recv()) {
+                    Some(recv) => {
+                        let cq = self.qp(qpn).expect("qp exists").recv_cq();
+                        self.push_cqe(
+                            cq,
+                            Cqe {
+                                wr_id: recv.wr_id,
+                                status: WcStatus::Success,
+                                opcode: WcOpcode::RecvRdmaWithImm,
+                                byte_len: msg.payload.len() as u32,
+                                imm: Some(imm),
+                                qpn,
+                            },
+                            &mut effects,
+                        );
+                    }
+                    None => effects.push(Effect::Fatal {
+                        qpn,
+                        status: WcStatus::RnrRetryExceeded,
+                        detail: "WRITE WITH IMM arrived with no posted RECV".to_string(),
+                    }),
+                }
+            }
+            WireOp::ReadReq {
+                raddr,
+                rkey,
+                len,
+                token,
+            } => match self
+                .mem
+                .dma_read(rkey, raddr, len as u64, Access::REMOTE_READ)
+            {
+                Ok(data) => {
+                    effects.push(Effect::Transmit(WireMessage {
+                        src: msg.dst,
+                        dst: msg.src,
+                        op: WireOp::ReadResp { token },
+                        payload: Bytes::from(data),
+                    }));
+                }
+                Err(e) => effects.push(Effect::Fatal {
+                    qpn,
+                    status: WcStatus::RemoteAccessError,
+                    detail: format!("RDMA READ rejected: {e}"),
+                }),
+            },
+            WireOp::ReadResp { token } => {
+                let Some(pending) = self.pending_reads.remove(&token) else {
+                    effects.push(Effect::Fatal {
+                        qpn,
+                        status: WcStatus::LocalProtectionError,
+                        detail: format!("READ response with unknown token {token}"),
+                    });
+                    return effects;
+                };
+                if let Err(e) = self.mem.dma_write(
+                    pending.sge.lkey,
+                    pending.sge.addr,
+                    &msg.payload,
+                    Access::LOCAL_WRITE,
+                ) {
+                    effects.push(Effect::Fatal {
+                        qpn: pending.qpn,
+                        status: WcStatus::LocalProtectionError,
+                        detail: format!("READ response placement failed: {e}"),
+                    });
+                    return effects;
+                }
+                if let Ok(qp) = self.qp_mut(pending.qpn) {
+                    qp.release_sq_slot();
+                }
+                if pending.signaled {
+                    let cqe = Cqe {
+                        wr_id: pending.wr_id,
+                        status: WcStatus::Success,
+                        opcode: WcOpcode::RdmaRead,
+                        byte_len: msg.payload.len() as u32,
+                        imm: None,
+                        qpn: pending.qpn,
+                    };
+                    self.push_completion_for_send(pending.qpn, cqe, &mut effects);
+                }
+            }
+        }
+        effects
+    }
+
+    fn receive_into_posted(
+        &mut self,
+        qpn: QpNum,
+        payload: &Bytes,
+        imm: Option<u32>,
+        opcode: WcOpcode,
+        effects: &mut Vec<Effect>,
+    ) {
+        let recv = match self.qp_mut(qpn).ok().and_then(|qp| qp.consume_recv()) {
+            Some(r) => r,
+            None => {
+                effects.push(Effect::Fatal {
+                    qpn,
+                    status: WcStatus::RnrRetryExceeded,
+                    detail: format!(
+                        "SEND of {} bytes arrived with no posted RECV",
+                        payload.len()
+                    ),
+                });
+                return;
+            }
+        };
+        // Place the payload into the receive buffer.
+        if !payload.is_empty() {
+            let Some(sge) = recv.sge else {
+                effects.push(Effect::Fatal {
+                    qpn,
+                    status: WcStatus::LocalProtectionError,
+                    detail: "SEND payload arrived into zero-length RECV".to_string(),
+                });
+                return;
+            };
+            if payload.len() as u64 > sge.len as u64 {
+                effects.push(Effect::Fatal {
+                    qpn,
+                    status: WcStatus::LocalProtectionError,
+                    detail: format!(
+                        "SEND of {} bytes exceeds RECV buffer of {} bytes",
+                        payload.len(),
+                        sge.len
+                    ),
+                });
+                return;
+            }
+            if let Err(e) = self
+                .mem
+                .dma_write(sge.lkey, sge.addr, payload, Access::LOCAL_WRITE)
+            {
+                effects.push(Effect::Fatal {
+                    qpn,
+                    status: WcStatus::LocalProtectionError,
+                    detail: format!("RECV placement failed: {e}"),
+                });
+                return;
+            }
+        }
+        let cq = self.qp(qpn).expect("qp exists").recv_cq();
+        self.push_cqe(
+            cq,
+            Cqe {
+                wr_id: recv.wr_id,
+                status: WcStatus::Success,
+                opcode,
+                byte_len: payload.len() as u32,
+                imm,
+                qpn,
+            },
+            effects,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RemoteAddr;
+
+    /// Builds two connected HCAs and returns them with their QPNs and the
+    /// CQ ids (send, recv) on each side.
+    fn pair() -> (HcaCore, HcaCore, QpNum, QpNum, (CqId, CqId), (CqId, CqId)) {
+        let mut a = HcaCore::new(NodeId(0), HcaConfig::default());
+        let mut b = HcaCore::new(NodeId(1), HcaConfig::default());
+        let a_scq = a.create_cq(0);
+        let a_rcq = a.create_cq(0);
+        let b_scq = b.create_cq(0);
+        let b_rcq = b.create_cq(0);
+        let qa = a.create_qp(a_scq, a_rcq, QpCaps::default()).unwrap();
+        let qb = b.create_qp(b_scq, b_rcq, QpCaps::default()).unwrap();
+        a.connect_qp(qa, (NodeId(1), qb)).unwrap();
+        b.connect_qp(qb, (NodeId(0), qa)).unwrap();
+        (a, b, qa, qb, (a_scq, a_rcq), (b_scq, b_rcq))
+    }
+
+    fn drain(hca: &mut HcaCore, cq: CqId) -> Vec<Cqe> {
+        let mut out = Vec::new();
+        hca.poll_cq(cq, usize::MAX, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (mut a, mut b, qa, qb, (a_scq, _), (_, b_rcq)) = pair();
+        let src = a.register_mr(64, Access::NONE);
+        let dst = b.register_mr(64, Access::LOCAL_WRITE);
+        a.mem_mut().app_write(src.key, src.addr, b"ping").unwrap();
+        b.post_recv(qb, RecvWr::new(77, dst.full_sge())).unwrap();
+
+        let prep = a.prepare_send(qa, SendWr::send(11, src.sge(0, 4))).unwrap();
+        assert!(!prep.is_read);
+        // Simulate transmission finishing, then delivery.
+        let mut fx = Vec::new();
+        a.tx_finished(qa, prep.completion_at_tx, &mut fx);
+        assert!(matches!(fx[0], Effect::Completion { cq, .. } if cq == a_scq));
+        let send_cqes = drain(&mut a, a_scq);
+        assert_eq!(send_cqes.len(), 1);
+        assert_eq!(send_cqes[0].wr_id, 11);
+
+        let fx = b.handle_wire(prep.msg);
+        assert_eq!(fx.len(), 1);
+        let recv_cqes = drain(&mut b, b_rcq);
+        assert_eq!(recv_cqes.len(), 1);
+        assert_eq!(recv_cqes[0].wr_id, 77);
+        assert_eq!(recv_cqes[0].byte_len, 4);
+        assert_eq!(recv_cqes[0].opcode, WcOpcode::Recv);
+        let mut buf = [0u8; 4];
+        b.mem().app_read(dst.key, dst.addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn send_without_recv_is_rnr_fatal() {
+        let (mut a, mut b, qa, _, _, _) = pair();
+        let src = a.register_mr(8, Access::NONE);
+        let prep = a.prepare_send(qa, SendWr::send(1, src.sge(0, 8))).unwrap();
+        let fx = b.handle_wire(prep.msg);
+        assert!(matches!(
+            fx[0],
+            Effect::Fatal {
+                status: WcStatus::RnrRetryExceeded,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rdma_write_places_silently() {
+        let (mut a, mut b, qa, _, _, (_, b_rcq)) = pair();
+        let src = a.register_mr(16, Access::NONE);
+        let dst = b.register_mr(16, Access::local_remote_write());
+        a.mem_mut()
+            .app_write(src.key, src.addr, b"zero-copy!")
+            .unwrap();
+
+        let wr = SendWr::write(
+            5,
+            src.sge(0, 10),
+            RemoteAddr {
+                addr: dst.addr + 2,
+                rkey: dst.key,
+            },
+        );
+        let prep = a.prepare_send(qa, wr).unwrap();
+        let fx = b.handle_wire(prep.msg);
+        assert!(fx.is_empty(), "pure WRITE generates no receiver effects");
+        assert!(drain(&mut b, b_rcq).is_empty());
+        let mut buf = [0u8; 10];
+        b.mem().app_read(dst.key, dst.addr + 2, &mut buf).unwrap();
+        assert_eq!(&buf, b"zero-copy!");
+    }
+
+    #[test]
+    fn write_imm_places_and_notifies() {
+        let (mut a, mut b, qa, qb, _, (_, b_rcq)) = pair();
+        let src = a.register_mr(16, Access::NONE);
+        let dst = b.register_mr(16, Access::local_remote_write());
+        a.mem_mut()
+            .app_write(src.key, src.addr, b"wwi-data")
+            .unwrap();
+        b.post_recv(qb, RecvWr::empty(42)).unwrap();
+
+        let wr = SendWr::write_imm(
+            6,
+            src.sge(0, 8),
+            RemoteAddr {
+                addr: dst.addr,
+                rkey: dst.key,
+            },
+            0xDEAD,
+        );
+        let prep = a.prepare_send(qa, wr).unwrap();
+        b.handle_wire(prep.msg);
+        let cqes = drain(&mut b, b_rcq);
+        assert_eq!(cqes.len(), 1);
+        assert_eq!(cqes[0].wr_id, 42);
+        assert_eq!(cqes[0].imm, Some(0xDEAD));
+        assert_eq!(cqes[0].byte_len, 8);
+        assert_eq!(cqes[0].opcode, WcOpcode::RecvRdmaWithImm);
+        let mut buf = [0u8; 8];
+        b.mem().app_read(dst.key, dst.addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"wwi-data");
+    }
+
+    #[test]
+    fn write_imm_without_recv_is_rnr() {
+        let (mut a, mut b, qa, _, _, _) = pair();
+        let src = a.register_mr(8, Access::NONE);
+        let dst = b.register_mr(8, Access::local_remote_write());
+        let wr = SendWr::write_imm(
+            1,
+            src.sge(0, 8),
+            RemoteAddr {
+                addr: dst.addr,
+                rkey: dst.key,
+            },
+            1,
+        );
+        let prep = a.prepare_send(qa, wr).unwrap();
+        let fx = b.handle_wire(prep.msg);
+        assert!(matches!(
+            fx[0],
+            Effect::Fatal {
+                status: WcStatus::RnrRetryExceeded,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn write_to_unauthorized_region_is_remote_access_error() {
+        let (mut a, mut b, qa, _, _, _) = pair();
+        let src = a.register_mr(8, Access::NONE);
+        // No REMOTE_WRITE grant.
+        let dst = b.register_mr(8, Access::LOCAL_WRITE);
+        let wr = SendWr::write(
+            1,
+            src.sge(0, 8),
+            RemoteAddr {
+                addr: dst.addr,
+                rkey: dst.key,
+            },
+        );
+        let prep = a.prepare_send(qa, wr).unwrap();
+        let fx = b.handle_wire(prep.msg);
+        assert!(matches!(
+            fx[0],
+            Effect::Fatal {
+                status: WcStatus::RemoteAccessError,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn write_out_of_bounds_is_rejected() {
+        let (mut a, mut b, qa, _, _, _) = pair();
+        let src = a.register_mr(64, Access::NONE);
+        let dst = b.register_mr(8, Access::local_remote_write());
+        let wr = SendWr::write(
+            1,
+            src.sge(0, 64),
+            RemoteAddr {
+                addr: dst.addr,
+                rkey: dst.key,
+            },
+        );
+        let prep = a.prepare_send(qa, wr).unwrap();
+        let fx = b.handle_wire(prep.msg);
+        assert!(matches!(fx[0], Effect::Fatal { .. }));
+    }
+
+    #[test]
+    fn rdma_read_roundtrip() {
+        let (mut a, mut b, qa, _, (a_scq, _), _) = pair();
+        let local = a.register_mr(32, Access::LOCAL_WRITE);
+        let remote = b.register_mr(32, Access::REMOTE_READ | Access::LOCAL_WRITE);
+        b.mem_mut()
+            .app_write(remote.key, remote.addr, b"read-me")
+            .unwrap();
+
+        let wr = SendWr::read(
+            9,
+            local.sge(0, 7),
+            RemoteAddr {
+                addr: remote.addr,
+                rkey: remote.key,
+            },
+        );
+        let prep = a.prepare_send(qa, wr).unwrap();
+        assert!(prep.is_read);
+        assert!(prep.completion_at_tx.is_none());
+        assert_eq!(prep.msg.payload_len(), 0);
+        assert_eq!(a.qp(qa).unwrap().sq_outstanding(), 1);
+
+        // Responder handles the request and produces a response.
+        let fx = b.handle_wire(prep.msg);
+        let Effect::Transmit(resp) = &fx[0] else {
+            panic!("expected Transmit effect");
+        };
+        assert_eq!(resp.payload_len(), 7);
+
+        // Requester consumes the response.
+        let fx = a.handle_wire(resp.clone());
+        assert!(matches!(fx[0], Effect::Completion { cq, .. } if cq == a_scq));
+        assert_eq!(a.qp(qa).unwrap().sq_outstanding(), 0);
+        let cqes = drain(&mut a, a_scq);
+        assert_eq!(cqes[0].wr_id, 9);
+        assert_eq!(cqes[0].opcode, WcOpcode::RdmaRead);
+        let mut buf = [0u8; 7];
+        a.mem().app_read(local.key, local.addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"read-me");
+    }
+
+    #[test]
+    fn read_from_unauthorized_region_fails() {
+        let (mut a, mut b, qa, _, _, _) = pair();
+        let local = a.register_mr(8, Access::LOCAL_WRITE);
+        let remote = b.register_mr(8, Access::NONE);
+        let wr = SendWr::read(
+            1,
+            local.sge(0, 8),
+            RemoteAddr {
+                addr: remote.addr,
+                rkey: remote.key,
+            },
+        );
+        let prep = a.prepare_send(qa, wr).unwrap();
+        let fx = b.handle_wire(prep.msg);
+        assert!(matches!(
+            fx[0],
+            Effect::Fatal {
+                status: WcStatus::RemoteAccessError,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn inline_send_respects_limit() {
+        let (mut a, _, qa, _, _, _) = pair();
+        let big = vec![0u8; 4096];
+        let err = a.prepare_send(qa, SendWr::send_inline(1, big)).unwrap_err();
+        assert!(matches!(err, VerbsError::InlineTooLarge { .. }));
+        let ok = a
+            .prepare_send(qa, SendWr::send_inline(2, vec![0u8; 64]))
+            .unwrap();
+        assert_eq!(ok.msg.payload_len(), 64);
+    }
+
+    #[test]
+    fn unsignaled_send_has_no_completion() {
+        let (mut a, _, qa, _, (a_scq, _), _) = pair();
+        let src = a.register_mr(8, Access::NONE);
+        let prep = a
+            .prepare_send(qa, SendWr::send(1, src.sge(0, 8)).unsignaled())
+            .unwrap();
+        assert!(prep.completion_at_tx.is_none());
+        let mut fx = Vec::new();
+        a.tx_finished(qa, prep.completion_at_tx, &mut fx);
+        assert!(fx.is_empty());
+        assert!(drain(&mut a, a_scq).is_empty());
+    }
+
+    #[test]
+    fn send_payload_larger_than_recv_buffer_is_fatal() {
+        // Message-oriented semantics: data that does not fit is an error,
+        // not a partial delivery (paper §I contrasts this with streams).
+        let (mut a, mut b, qa, qb, _, _) = pair();
+        let src = a.register_mr(64, Access::NONE);
+        let dst = b.register_mr(16, Access::LOCAL_WRITE);
+        b.post_recv(qb, RecvWr::new(1, dst.full_sge())).unwrap();
+        let prep = a.prepare_send(qa, SendWr::send(1, src.sge(0, 64))).unwrap();
+        let fx = b.handle_wire(prep.msg);
+        assert!(matches!(
+            fx[0],
+            Effect::Fatal {
+                status: WcStatus::LocalProtectionError,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn create_qp_requires_existing_cqs() {
+        let mut h = HcaCore::new(NodeId(0), HcaConfig::default());
+        let err = h.create_qp(CqId(99), CqId(98), QpCaps::default());
+        assert!(matches!(err, Err(VerbsError::UnknownCq(_))));
+    }
+
+    #[test]
+    fn post_recv_validates_sge() {
+        let (_, mut b, _, qb, _, _) = pair();
+        let dst = b.register_mr(8, Access::LOCAL_WRITE);
+        let bad = Sge::new(dst.addr, 64, dst.key);
+        assert!(matches!(
+            b.post_recv(qb, RecvWr::new(1, bad)),
+            Err(VerbsError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            b.post_recv(qb, RecvWr::new(1, Sge::new(0, 1, MrKey(999)))),
+            Err(VerbsError::UnknownKey(_))
+        ));
+    }
+
+    #[test]
+    fn arm_and_notify_cycle() {
+        let (mut a, mut b, qa, qb, _, (_, b_rcq)) = pair();
+        let src = a.register_mr(8, Access::NONE);
+        let dst = b.register_mr(8, Access::LOCAL_WRITE);
+        b.post_recv(qb, RecvWr::new(1, dst.full_sge())).unwrap();
+        b.post_recv(qb, RecvWr::new(2, dst.full_sge())).unwrap();
+        assert!(!b.arm_cq(b_rcq).unwrap());
+
+        let prep = a.prepare_send(qa, SendWr::send(1, src.sge(0, 8))).unwrap();
+        let fx = b.handle_wire(prep.msg);
+        assert!(matches!(fx[0], Effect::Completion { notify: true, .. }));
+
+        // Second completion without re-arming does not notify.
+        let prep = a.prepare_send(qa, SendWr::send(2, src.sge(0, 8))).unwrap();
+        let fx = b.handle_wire(prep.msg);
+        assert!(matches!(fx[0], Effect::Completion { notify: false, .. }));
+
+        // Arming with pending completions reports immediately.
+        assert!(b.arm_cq(b_rcq).unwrap());
+    }
+}

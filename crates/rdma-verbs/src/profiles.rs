@@ -1,0 +1,240 @@
+//! Calibrated hardware profiles.
+//!
+//! Each profile bundles the link, HCA and host parameters for one of the
+//! testbeds in the paper's evaluation (§IV-B), plus a few extras used by
+//! ablations. The values are *model inputs* chosen so the simulated
+//! system reproduces the published performance shape; EXPERIMENTS.md
+//! records paper-vs-measured numbers for every figure.
+
+use simnet::{LinkConfig, SimDuration};
+
+use crate::hca::HcaConfig;
+use crate::host::HostModel;
+
+/// A complete hardware description for a two-node experiment.
+#[derive(Clone, Debug)]
+pub struct HwProfile {
+    /// Human-readable name, recorded in benchmark output.
+    pub name: &'static str,
+    /// Link parameters (applied symmetrically).
+    pub link: LinkConfig,
+    /// HCA parameters (both nodes).
+    pub hca: HcaConfig,
+    /// Host cost model (both nodes).
+    pub host: HostModel,
+}
+
+const GBIT: u64 = 1_000_000_000;
+
+/// FDR InfiniBand through one switch: Mellanox ConnectX-3 on PCIe gen3
+/// hosts (Xeon E5-2690), as in the paper's first test series.
+///
+/// FDR 4x signals at 56 Gbit/s with 64/66 encoding → 54.3 Gbit/s data
+/// rate. The measured one-way latency for 64-byte messages was 0.76 µs;
+/// we split that between propagation (switch + cable) and per-WQE HCA
+/// processing. Large-copy memcpy bandwidth is set so the indirect-only
+/// protocol plateaus in the paper's 20–27 Gbit/s band while the wire
+/// allows ~44 Gbit/s of user payload.
+pub fn fdr_infiniband() -> HwProfile {
+    HwProfile {
+        name: "fdr-infiniband",
+        link: LinkConfig {
+            // FDR 4x signals 56 Gbit/s (54.3 after 64/66 encoding), but
+            // the end-to-end data path is PCIe gen3 x8 limited: the
+            // paper's direct-only protocol tops out near 44 Gbit/s. We
+            // model the combined wire+DMA path as one 45.5 Gbit/s
+            // bottleneck with IB framing on top.
+            bandwidth_bps: 45_500_000_000,
+            propagation: SimDuration::from_nanos(300),
+            mtu: 4096,
+            per_packet_overhead: 64,
+            jitter: SimDuration::ZERO,
+        },
+        hca: HcaConfig {
+            wqe_process: SimDuration::from_nanos(230),
+            default_cq_depth: 1 << 16,
+        },
+        host: HostModel {
+            // ~3.2 GiB/s effective for cache-missing copy in + copy out
+            // on the 2012-era Xeon; this is the indirect path's governor.
+            memcpy_bytes_per_sec: 3_400_000_000,
+            memcpy_base: SimDuration::from_nanos(150),
+            post_overhead: SimDuration::from_nanos(250),
+            poll_overhead: SimDuration::from_nanos(120),
+            cqe_process: SimDuration::from_nanos(500),
+            event_wakeup: SimDuration::from_nanos(500),
+            wakeup_latency: SimDuration::from_micros(3),
+            stall_prob: 0.02,
+            stall_max: SimDuration::from_micros(40),
+            busy_poll: false,
+            jitter_frac: 0.3,
+        },
+    }
+}
+
+/// QDR InfiniBand variant (32 Gbit/s data rate). The paper remarks that
+/// on QDR the indirect protocol compares much more favourably because
+/// the wire rate is not dramatically higher than memcpy throughput; the
+/// QDR ablation demonstrates exactly that.
+pub fn qdr_infiniband() -> HwProfile {
+    let mut p = fdr_infiniband();
+    p.name = "qdr-infiniband";
+    // QDR 4x data rate is 32 Gbit/s; on the PCIe gen2 hosts of that era
+    // the end-to-end path lands near 26 Gbit/s — within ~20% of the
+    // memcpy path, which is why the paper notes the indirect protocol
+    // "compares much more favorably" on QDR.
+    p.link.bandwidth_bps = 26 * GBIT;
+    p.link.mtu = 2048;
+    p
+}
+
+/// 10 Gbit/s RoCE through the Anue network emulator: ConnectX-2 on PCIe
+/// gen2 hosts (Xeon X5670), with a configurable fixed one-way delay.
+/// The paper sets a 48 ms round trip (24 ms each way).
+pub fn roce_10g(one_way_delay: SimDuration) -> HwProfile {
+    HwProfile {
+        name: "roce-10g",
+        link: LinkConfig {
+            bandwidth_bps: 10 * GBIT,
+            propagation: one_way_delay + SimDuration::from_nanos(500),
+            mtu: 1500,
+            // Ethernet + RoCE (IB GRH/BTH) framing.
+            per_packet_overhead: 58,
+            jitter: SimDuration::ZERO,
+        },
+        hca: HcaConfig {
+            wqe_process: SimDuration::from_nanos(350),
+            default_cq_depth: 1 << 16,
+        },
+        host: HostModel {
+            // Older host: slower copies, slower posts.
+            memcpy_bytes_per_sec: 2_600_000_000,
+            memcpy_base: SimDuration::from_nanos(200),
+            post_overhead: SimDuration::from_nanos(300),
+            poll_overhead: SimDuration::from_nanos(150),
+            cqe_process: SimDuration::from_nanos(450),
+            event_wakeup: SimDuration::from_nanos(600),
+            wakeup_latency: SimDuration::from_micros(4),
+            stall_prob: 0.02,
+            stall_max: SimDuration::from_micros(40),
+            busy_poll: false,
+            jitter_frac: 0.3,
+        },
+    }
+}
+
+/// FDR InfiniBand with busy-polling completion handling instead of
+/// event notification (latency ablation; "busy polling" in the paper's
+/// §IV-B discussion). CPU usage is 100% by definition when polling.
+pub fn fdr_infiniband_busy_poll() -> HwProfile {
+    let mut p = fdr_infiniband();
+    p.name = "fdr-infiniband-busy-poll";
+    p.host.busy_poll = true;
+    p
+}
+
+/// A 10 Gbit/s iWARP NIC of the old generation that lacks native
+/// RDMA WRITE WITH IMM — used by the WWI-emulation ablation (the EXS
+/// config's `WwiMode::WritePlusSend` follows each WRITE with a small
+/// SEND, paper §II-B).
+pub fn iwarp_10g() -> HwProfile {
+    let mut p = roce_10g(SimDuration::from_micros(2));
+    p.name = "iwarp-10g";
+    // TCP-based transport: slightly higher per-packet framing.
+    p.link.per_packet_overhead = 78;
+    p
+}
+
+/// The paper's WAN configuration: 10 G RoCE with the Anue emulator set
+/// to a 48 ms round-trip delay.
+pub fn roce_10g_wan() -> HwProfile {
+    let mut p = roce_10g(SimDuration::from_millis(24));
+    p.name = "roce-10g-wan-48ms";
+    p
+}
+
+/// An idealized profile where every host cost is zero and the link is
+/// effectively instantaneous. Protocol unit tests use this so logic is
+/// checked independent of timing.
+pub fn ideal() -> HwProfile {
+    HwProfile {
+        name: "ideal",
+        link: LinkConfig {
+            bandwidth_bps: 0, // zero models "infinitely fast" serialization
+            propagation: SimDuration::from_nanos(1),
+            mtu: 1 << 30,
+            per_packet_overhead: 0,
+            jitter: SimDuration::ZERO,
+        },
+        hca: HcaConfig {
+            wqe_process: SimDuration::ZERO,
+            default_cq_depth: 1 << 16,
+        },
+        host: HostModel::free(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fdr_large_message_goodput_band() {
+        let p = fdr_infiniband();
+        // Effective payload rate for 1 MiB messages: the paper's
+        // direct-only protocol peaks near 44 Gbit/s, so the modelled
+        // wire+DMA bottleneck must land large-message goodput just above
+        // that (WQE and host costs shave the rest).
+        let eff = p.link.efficiency(1 << 20);
+        let goodput = p.link.bandwidth_bps as f64 * eff;
+        assert!(
+            goodput > 43.5e9 && goodput < 45.5e9,
+            "goodput {goodput:.3e} out of expected band"
+        );
+    }
+
+    #[test]
+    fn fdr_memcpy_slower_than_wire() {
+        let p = fdr_infiniband();
+        let copy_bits_per_sec = p.host.memcpy_bytes_per_sec as f64 * 8.0;
+        assert!(
+            copy_bits_per_sec < p.link.bandwidth_bps as f64,
+            "FDR must out-run the memcpy path for the paper's shape to hold"
+        );
+    }
+
+    #[test]
+    fn qdr_memcpy_competitive_with_wire() {
+        let p = qdr_infiniband();
+        let copy_bits_per_sec = p.host.memcpy_bytes_per_sec as f64 * 8.0;
+        // On QDR the copy path is within ~20% of the wire rate.
+        assert!(copy_bits_per_sec > p.link.bandwidth_bps as f64 * 0.8);
+    }
+
+    #[test]
+    fn wan_profile_has_48ms_rtt() {
+        let p = roce_10g_wan();
+        let rtt = p.link.propagation.as_nanos() * 2;
+        assert!((48_000_000..48_100_000).contains(&rtt));
+    }
+
+    #[test]
+    fn ideal_profile_is_free() {
+        let p = ideal();
+        assert!(p.host.memcpy_time(1 << 30).is_zero());
+        assert!(p.link.tx_time(1 << 20).is_zero());
+    }
+
+    #[test]
+    fn one_way_latency_near_measured() {
+        // Paper: 0.76 us one-way for 64-byte messages on FDR. Our model:
+        // wqe_process + serialization + propagation should land nearby.
+        let p = fdr_infiniband();
+        let total = p.hca.wqe_process + p.link.tx_time(64) + p.link.propagation;
+        let ns = total.as_nanos();
+        assert!(
+            (450..1100).contains(&ns),
+            "one-way 64B latency {ns} ns too far from 760 ns"
+        );
+    }
+}

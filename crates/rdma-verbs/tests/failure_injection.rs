@@ -1,0 +1,170 @@
+//! Fault-injection tests: QP failure mid-run must flush posted receives
+//! with `WrFlushError` completions, reject further work, and leave the
+//! rest of the fabric running.
+
+use rdma_verbs::{
+    connect_pair, Access, HcaConfig, HostModel, MrInfo, NodeApi, NodeApp, QpCaps, QpNum, RecvWr,
+    SendWr, SimNet, VerbsError, WcStatus,
+};
+use simnet::{LinkConfig, SimDuration, SimTime};
+
+fn fast_link() -> LinkConfig {
+    LinkConfig::simple(10_000_000_000, SimDuration::from_micros(1))
+}
+
+struct Quiet;
+impl NodeApp for Quiet {
+    fn on_start(&mut self, _api: &mut NodeApi<'_>) {}
+    fn on_wake(&mut self, _api: &mut NodeApi<'_>) {}
+    fn is_done(&self) -> bool {
+        true
+    }
+}
+
+/// Collects completions, counting flush errors.
+struct FlushWatcher {
+    cq: Option<rdma_verbs::CqId>,
+    flushed: Vec<u64>,
+    expect: usize,
+}
+
+impl NodeApp for FlushWatcher {
+    fn on_start(&mut self, _api: &mut NodeApi<'_>) {}
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        let mut cqes = Vec::new();
+        api.poll_cq(self.cq.unwrap(), usize::MAX, &mut cqes)
+            .unwrap();
+        for c in cqes {
+            assert_eq!(c.status, WcStatus::WrFlushError);
+            assert_eq!(c.byte_len, 0);
+            self.flushed.push(c.wr_id);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.flushed.len() >= self.expect
+    }
+}
+
+#[test]
+fn qp_failure_flushes_posted_receives() {
+    let mut net = SimNet::new();
+    let a = net.add_node(HostModel::free(), HcaConfig::default());
+    let b = net.add_node(HostModel::free(), HcaConfig::default());
+    net.connect_nodes(a, b, fast_link(), 1);
+    let (_ha, hb) = connect_pair(&mut net, a, b, QpCaps::default(), 64).unwrap();
+
+    let mr: MrInfo = net.with_api(b, |api| {
+        let mr = api.register_mr(256, Access::LOCAL_WRITE);
+        for i in 0..5 {
+            api.post_recv(hb.qpn, RecvWr::new(100 + i, mr.sge(0, 64)))
+                .unwrap();
+        }
+        mr
+    });
+    let _ = mr;
+
+    net.inject_qp_error(b, hb.qpn).unwrap();
+
+    let mut quiet = Quiet;
+    let mut watcher = FlushWatcher {
+        cq: Some(hb.recv_cq),
+        flushed: Vec::new(),
+        expect: 5,
+    };
+    let outcome = net.run(&mut [&mut quiet, &mut watcher], SimTime::from_secs(1));
+    assert!(outcome.completed, "flush completions must be delivered");
+    assert_eq!(watcher.flushed, vec![100, 101, 102, 103, 104]);
+}
+
+#[test]
+fn failed_qp_rejects_new_work() {
+    let mut net = SimNet::new();
+    let a = net.add_node(HostModel::free(), HcaConfig::default());
+    let b = net.add_node(HostModel::free(), HcaConfig::default());
+    net.connect_nodes(a, b, fast_link(), 2);
+    let (ha, _hb) = connect_pair(&mut net, a, b, QpCaps::default(), 64).unwrap();
+
+    net.inject_qp_error(a, ha.qpn).unwrap();
+    net.with_api(a, |api| {
+        let mr = api.register_mr(64, Access::NONE);
+        let err = api.post_send(ha.qpn, SendWr::send(1, mr.sge(0, 8)));
+        assert_eq!(err, Err(VerbsError::InvalidQpState));
+        let err = api.post_recv(ha.qpn, RecvWr::new(2, mr.sge(0, 8)));
+        assert_eq!(err, Err(VerbsError::InvalidQpState));
+    });
+}
+
+#[test]
+fn unaffected_connection_keeps_working() {
+    // Two connections between the same nodes; killing one must not
+    // disturb the other.
+    let mut net = SimNet::new();
+    let a = net.add_node(HostModel::free(), HcaConfig::default());
+    let b = net.add_node(HostModel::free(), HcaConfig::default());
+    net.connect_nodes(a, b, fast_link(), 3);
+    let (dead_a, _dead_b) = connect_pair(&mut net, a, b, QpCaps::default(), 64).unwrap();
+    let (live_a, live_b) = connect_pair(&mut net, a, b, QpCaps::default(), 64).unwrap();
+
+    net.inject_qp_error(a, dead_a.qpn).unwrap();
+
+    struct OneShot {
+        qpn: QpNum,
+        mr: Option<MrInfo>,
+        fired: bool,
+    }
+    impl NodeApp for OneShot {
+        fn on_start(&mut self, api: &mut NodeApi<'_>) {
+            let mr = self.mr.unwrap();
+            api.post_send(self.qpn, SendWr::send(1, mr.sge(0, 8)))
+                .unwrap();
+            self.fired = true;
+        }
+        fn on_wake(&mut self, _api: &mut NodeApi<'_>) {}
+        fn is_done(&self) -> bool {
+            self.fired
+        }
+    }
+    struct Sink {
+        cq: rdma_verbs::CqId,
+        got: usize,
+    }
+    impl NodeApp for Sink {
+        fn on_start(&mut self, _api: &mut NodeApi<'_>) {}
+        fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+            let mut cqes = Vec::new();
+            api.poll_cq(self.cq, usize::MAX, &mut cqes).unwrap();
+            self.got += cqes.len();
+        }
+        fn is_done(&self) -> bool {
+            self.got >= 1
+        }
+    }
+
+    let mut sender = OneShot {
+        qpn: live_a.qpn,
+        mr: None,
+        fired: false,
+    };
+    let mut sink = Sink {
+        cq: live_b.recv_cq,
+        got: 0,
+    };
+    net.with_api(a, |api| {
+        sender.mr = Some(api.register_mr(64, Access::NONE));
+    });
+    net.with_api(b, |api| {
+        let mr = api.register_mr(64, Access::LOCAL_WRITE);
+        api.post_recv(live_b.qpn, RecvWr::new(9, mr.sge(0, 64)))
+            .unwrap();
+    });
+    let outcome = net.run(&mut [&mut sender, &mut sink], SimTime::from_secs(1));
+    assert!(outcome.completed, "live connection must still deliver");
+    assert_eq!(sink.got, 1);
+}
+
+#[test]
+fn fail_unknown_qp_errors() {
+    let mut net = SimNet::new();
+    let a = net.add_node(HostModel::free(), HcaConfig::default());
+    assert!(net.inject_qp_error(a, QpNum(777)).is_err());
+}

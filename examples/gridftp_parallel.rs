@@ -1,0 +1,196 @@
+//! Parallel streams over distance — the GridFTP scenario.
+//!
+//! The paper's over-distance motivation comes from GridFTP-style bulk
+//! data movement (its reference [10] is an RDMA verbs driver for
+//! GridFTP). GridFTP's classic trick on long fat networks is opening
+//! several parallel streams; with a windowed transport each stream adds
+//! in-flight data, multiplying throughput until the link saturates.
+//!
+//! This example opens 1, 2, 4 and 8 parallel EXS stream sockets across
+//! the emulated 48 ms WAN and moves a 64 MiB dataset striped across
+//! them, comparing aggregate throughput. Every stream uses the dynamic
+//! protocol — no tuning per stream.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example gridftp_parallel
+//! ```
+
+use rdma_stream::exs::{Event, ExsConfig, ExsContext, ExsFd, MsgFlags, SockType};
+use rdma_stream::simnet::SimTime;
+use rdma_stream::verbs::{profiles, Access, MrInfo, NodeApi, NodeApp, SimNet};
+
+const DATASET: u64 = 64 << 20;
+const CHUNK: u64 = 1 << 20;
+
+struct Mover {
+    ctx: Option<ExsContext>,
+    streams: Vec<(ExsFd, MrInfo)>,
+    is_sender: bool,
+    per_stream: u64,
+    sent: Vec<u64>,
+    acked: Vec<u64>,
+    received: Vec<u64>,
+    next_id: u64,
+    id_map: std::collections::HashMap<u64, usize>,
+    finished_at: Option<SimTime>,
+}
+
+impl Mover {
+    fn kick(&mut self, api: &mut NodeApi<'_>) {
+        for idx in 0..self.streams.len() {
+            let (fd, mr) = self.streams[idx];
+            if self.is_sender {
+                // Keep 4 chunks in flight per stream.
+                while self.sent[idx] < self.per_stream
+                    && self.sent[idx] - self.acked[idx] < 4 * CHUNK
+                {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.id_map.insert(id, idx);
+                    let off = (self.sent[idx] / CHUNK % 4) * CHUNK;
+                    self.ctx
+                        .as_mut()
+                        .unwrap()
+                        .exs_send(api, fd, &mr, off, CHUNK, id);
+                    self.sent[idx] += CHUNK;
+                }
+            } else {
+                let outstanding = self.id_map.values().filter(|&&s| s == idx).count();
+                if outstanding < 4 && self.received[idx] < self.per_stream {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.id_map.insert(id, idx);
+                    self.ctx.as_mut().unwrap().exs_recv(
+                        api,
+                        fd,
+                        &mr,
+                        0,
+                        CHUNK as u32,
+                        MsgFlags::NONE,
+                        id,
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl NodeApp for Mover {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        self.kick(api);
+    }
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        self.ctx.as_mut().unwrap().handle_wake(api);
+        loop {
+            let events = self.ctx.as_mut().unwrap().exs_qdequeue();
+            if events.is_empty() {
+                break;
+            }
+            for qe in events {
+                match qe.event {
+                    Event::SendComplete { id, len } => {
+                        let idx = self.id_map.remove(&id).expect("stream");
+                        self.acked[idx] += len;
+                    }
+                    Event::RecvComplete { id, len } => {
+                        let idx = self.id_map.remove(&id).expect("stream");
+                        self.received[idx] += len as u64;
+                        if self.received.iter().sum::<u64>() >= DATASET {
+                            self.finished_at = Some(api.now());
+                        }
+                    }
+                    other => panic!("unexpected event {other:?}"),
+                }
+            }
+            self.kick(api);
+        }
+    }
+    fn is_done(&self) -> bool {
+        if self.is_sender {
+            self.acked.iter().sum::<u64>() >= DATASET
+        } else {
+            self.received.iter().sum::<u64>() >= DATASET
+        }
+    }
+}
+
+fn transfer(parallel: usize) -> (f64, SimTime) {
+    let profile = profiles::roce_10g_wan();
+    let mut net = SimNet::new();
+    let a = net.add_node(profile.host.clone(), profile.hca.clone());
+    let b = net.add_node(profile.host.clone(), profile.hca.clone());
+    net.connect_nodes(a, b, profile.link.clone(), 21);
+
+    let mut ctx_a = ExsContext::new(a);
+    let mut ctx_b = ExsContext::new(b);
+    let cfg = ExsConfig {
+        ring_capacity: 64 << 20,
+        ..ExsConfig::default()
+    };
+
+    let per_stream = DATASET / parallel as u64;
+    let mut tx_streams = Vec::new();
+    let mut rx_streams = Vec::new();
+    for _ in 0..parallel {
+        let (fa, fb) =
+            ExsContext::socket_pair(&mut net, &mut ctx_a, &mut ctx_b, SockType::Stream, &cfg);
+        let mr_a = net.with_api(a, |api| {
+            ctx_a.exs_mregister(api, (4 * CHUNK) as usize, Access::NONE)
+        });
+        let mr_b = net.with_api(b, |api| {
+            ctx_b.exs_mregister(api, CHUNK as usize, Access::local_remote_write())
+        });
+        tx_streams.push((fa, mr_a));
+        rx_streams.push((fb, mr_b));
+    }
+
+    let mut tx = Mover {
+        ctx: Some(ctx_a),
+        streams: tx_streams,
+        is_sender: true,
+        per_stream,
+        sent: vec![0; parallel],
+        acked: vec![0; parallel],
+        received: vec![0; parallel],
+        next_id: 0,
+        id_map: std::collections::HashMap::new(),
+        finished_at: None,
+    };
+    let mut rx = Mover {
+        ctx: Some(ctx_b),
+        streams: rx_streams,
+        is_sender: false,
+        per_stream,
+        sent: vec![0; parallel],
+        acked: vec![0; parallel],
+        received: vec![0; parallel],
+        next_id: 0,
+        id_map: std::collections::HashMap::new(),
+        finished_at: None,
+    };
+    let outcome = net.run(&mut [&mut tx, &mut rx], SimTime::from_secs(600));
+    assert!(outcome.completed, "transfer stalled: {outcome:?}");
+    let end = rx.finished_at.unwrap_or(outcome.end);
+    let secs = end.as_secs_f64();
+    (DATASET as f64 * 8.0 / secs / 1e6, end)
+}
+
+fn main() {
+    println!("moving a 64 MiB dataset across a 48 ms RTT WAN, GridFTP style\n");
+    println!(
+        "{:>18} {:>22} {:>14}",
+        "parallel streams", "aggregate Mbit/s", "elapsed"
+    );
+    let mut prev = 0.0;
+    for &p in &[1usize, 2, 4, 8] {
+        let (mbps, end) = transfer(p);
+        println!("{:>18} {:>22.1} {:>14}", p, mbps, format!("{end}"));
+        assert!(mbps >= prev * 0.9, "parallelism should not hurt");
+        prev = mbps;
+    }
+    println!();
+    println!("each stream carries 4 chunks of in-flight data, so parallel streams");
+    println!("multiply the effective window over the long fat pipe — the classic");
+    println!("GridFTP result, here with zero-copy RDMA stream sockets.");
+}

@@ -1,0 +1,68 @@
+//! Log replication across a continent — the over-distance scenario that
+//! motivates the intermediate buffer (paper §I: "over distance, having
+//! to wait for an advertisement in order to send a large message is
+//! impractical due to the high latency").
+//!
+//! A primary replicates a stream of 64 KiB log records to a standby
+//! over the paper's emulated WAN: 10 Gbit/s RoCE with a 48 ms round
+//! trip. The experiment varies how many replication operations the
+//! primary keeps in flight and shows that (i) throughput is governed by
+//! the bandwidth-delay product, and (ii) all three protocols behave
+//! similarly — the paper's Fig. 13 finding — so the dynamic protocol
+//! can be left on everywhere.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example wan_replication
+//! ```
+
+use rdma_stream::blast::{run_blast, BlastSpec, SizeDist, VerifyLevel};
+use rdma_stream::exs::{ExsConfig, ProtocolMode};
+use rdma_stream::simnet::SimDuration;
+use rdma_stream::verbs::profiles;
+
+const RECORD: u64 = 64 << 10;
+const RECORDS: usize = 2_000;
+
+fn replicate(mode: ProtocolMode, inflight: usize) -> (f64, f64) {
+    let mut cfg = ExsConfig::with_mode(mode);
+    // Buffer the bandwidth-delay product (10 Gbit/s × 48 ms = 60 MB).
+    cfg.ring_capacity = 128 << 20;
+    let spec = BlastSpec {
+        cfg,
+        outstanding_sends: inflight,
+        outstanding_recvs: inflight,
+        sizes: SizeDist::Fixed(RECORD),
+        messages: RECORDS,
+        verify: VerifyLevel::None,
+        seed: 11,
+        time_limit: SimDuration::from_secs(3600),
+        ..BlastSpec::new(profiles::roce_10g_wan())
+    };
+    let report = run_blast(&spec);
+    (
+        report.throughput_mbps(),
+        report.elapsed().as_secs_f64() * 1e3,
+    )
+}
+
+fn main() {
+    println!("replicating {RECORDS} x 64 KiB log records over a 48 ms RTT WAN\n");
+    println!(
+        "{:>10} {:>22} {:>22} {:>22}",
+        "in flight", "direct-only", "dynamic", "indirect-only"
+    );
+    for &inflight in &[1usize, 8, 64, 256] {
+        let (d_tput, _) = replicate(ProtocolMode::DirectOnly, inflight);
+        let (y_tput, _) = replicate(ProtocolMode::Dynamic, inflight);
+        let (i_tput, _) = replicate(ProtocolMode::IndirectOnly, inflight);
+        println!(
+            "{:>10} {:>15.1} Mbit/s {:>15.1} Mbit/s {:>15.1} Mbit/s",
+            inflight, d_tput, y_tput, i_tput
+        );
+    }
+    println!();
+    println!("throughput scales with the replication window until the 10 Gbit/s link");
+    println!("saturates; the protocols are within a few percent of each other, so the");
+    println!("adaptive default is safe over distance (paper Fig. 13).");
+}

@@ -1,0 +1,198 @@
+//! Link-failure injection through the whole stack: a directed link goes
+//! down mid-stream, RC retry exhaustion fails the QP, and the EXS socket
+//! surfaces a `ConnectionError` event instead of hanging or panicking.
+
+use rdma_stream::exs::{ExsConfig, ExsEvent, ProtocolMode, StreamSocket};
+use rdma_stream::simnet::{SimDuration, SimTime};
+use rdma_stream::verbs::{profiles, Access, MrInfo, NodeApi, NodeApp, SimNet};
+
+struct Sender {
+    sock: Option<StreamSocket>,
+    mr: Option<MrInfo>,
+    to_send: usize,
+    sent: usize,
+    acked: usize,
+    broken: bool,
+}
+
+impl Sender {
+    fn kick(&mut self, api: &mut NodeApi<'_>) {
+        while self.sent < self.to_send && self.sent - self.acked < 2 {
+            let mr = self.mr.unwrap();
+            self.sock
+                .as_mut()
+                .unwrap()
+                .exs_send(api, &mr, 0, 64 << 10, self.sent as u64);
+            self.sent += 1;
+        }
+    }
+}
+
+impl NodeApp for Sender {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        self.kick(api);
+    }
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        self.sock.as_mut().unwrap().handle_wake(api);
+        for ev in self.sock.as_mut().unwrap().take_events() {
+            match ev {
+                ExsEvent::SendComplete { .. } => self.acked += 1,
+                ExsEvent::ConnectionError => self.broken = true,
+                _ => {}
+            }
+        }
+        if !self.broken {
+            self.kick(api);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.broken
+    }
+}
+
+struct Receiver {
+    sock: Option<StreamSocket>,
+    mr: Option<MrInfo>,
+    received: u64,
+    next_id: u64,
+    broken: bool,
+}
+
+impl Receiver {
+    fn kick(&mut self, api: &mut NodeApi<'_>) {
+        let sock = self.sock.as_mut().unwrap();
+        if !self.broken && sock.recvs_pending() == 0 {
+            let mr = self.mr.unwrap();
+            sock.exs_recv(api, &mr, 0, 64 << 10, false, self.next_id);
+            self.next_id += 1;
+        }
+    }
+}
+
+impl NodeApp for Receiver {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        self.kick(api);
+    }
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        self.sock.as_mut().unwrap().handle_wake(api);
+        for ev in self.sock.as_mut().unwrap().take_events() {
+            match ev {
+                ExsEvent::RecvComplete { len, .. } => self.received += len as u64,
+                ExsEvent::ConnectionError => self.broken = true,
+                _ => {}
+            }
+        }
+        self.kick(api);
+    }
+    fn is_done(&self) -> bool {
+        // The receiver may or may not observe the failure directly
+        // (depends on which direction lost traffic); the test ends on
+        // the sender's error.
+        true
+    }
+}
+
+#[test]
+fn link_cut_surfaces_connection_error() {
+    let profile = profiles::fdr_infiniband();
+    let mut net = SimNet::new();
+    net.enable_trace(256);
+    let a = net.add_node(profile.host.clone(), profile.hca.clone());
+    let b = net.add_node(profile.host.clone(), profile.hca.clone());
+    net.connect_nodes(a, b, profile.link.clone(), 8);
+    let (sa, sb) = StreamSocket::pair(&mut net, a, b, &ExsConfig::with_mode(ProtocolMode::Dynamic));
+
+    let mut sender = Sender {
+        sock: Some(sa),
+        mr: None,
+        to_send: 10_000, // would run far beyond the cut
+        sent: 0,
+        acked: 0,
+        broken: false,
+    };
+    let mut receiver = Receiver {
+        sock: Some(sb),
+        mr: None,
+        received: 0,
+        next_id: 0,
+        broken: false,
+    };
+    net.with_api(a, |api| {
+        sender.mr = Some(api.register_mr(64 << 10, Access::NONE));
+    });
+    net.with_api(b, |api| {
+        receiver.mr = Some(api.register_mr(64 << 10, Access::local_remote_write()));
+    });
+
+    // Run a while, then cut the forward (data) link and keep running.
+    let mid = net.run(&mut [&mut sender, &mut receiver], SimTime::from_millis(2));
+    assert!(!mid.completed, "stream should still be running at the cut");
+    assert!(receiver.received > 0, "some data flowed before the cut");
+    net.set_link_up(a, b, false);
+
+    let outcome = net.run(
+        &mut [&mut sender, &mut receiver],
+        SimTime::ZERO + SimDuration::from_millis(200),
+    );
+    assert!(
+        outcome.completed,
+        "sender must observe the failure: {outcome:?}\ntrace:\n{}",
+        net.dump_trace()
+    );
+    assert!(sender.broken, "ConnectionError event expected");
+    assert!(sender.sock.as_ref().unwrap().is_broken());
+    // The trace recorded the drops.
+    assert!(net.dump_trace().contains("dropped"));
+}
+
+#[test]
+fn trace_records_protocol_events() {
+    let profile = profiles::ideal();
+    let mut net = SimNet::new();
+    net.enable_trace(64);
+    let a = net.add_node(profile.host.clone(), profile.hca.clone());
+    let b = net.add_node(profile.host.clone(), profile.hca.clone());
+    net.connect_nodes(a, b, profile.link.clone(), 9);
+    let (sa, sb) = StreamSocket::pair(&mut net, a, b, &ExsConfig::default());
+
+    let mut sender = Sender {
+        sock: Some(sa),
+        mr: None,
+        to_send: 3,
+        sent: 0,
+        acked: 0,
+        broken: false,
+    };
+    let mut receiver = Receiver {
+        sock: Some(sb),
+        mr: None,
+        received: 0,
+        next_id: 0,
+        broken: false,
+    };
+    net.with_api(a, |api| {
+        sender.mr = Some(api.register_mr(64 << 10, Access::NONE));
+    });
+    net.with_api(b, |api| {
+        receiver.mr = Some(api.register_mr(64 << 10, Access::local_remote_write()));
+    });
+    struct Done<'a>(&'a mut Sender);
+    impl NodeApp for Done<'_> {
+        fn on_start(&mut self, api: &mut NodeApi<'_>) {
+            self.0.on_start(api)
+        }
+        fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+            self.0.on_wake(api)
+        }
+        fn is_done(&self) -> bool {
+            self.0.acked == 3
+        }
+    }
+    let mut wrapped = Done(&mut sender);
+    net.run(&mut [&mut wrapped, &mut receiver], SimTime::from_secs(1));
+
+    let dump = net.dump_trace();
+    assert!(dump.contains("write-imm"), "data transfers traced:\n{dump}");
+    assert!(dump.contains("send"), "control messages traced:\n{dump}");
+    assert!(dump.contains("wake"), "wakeups traced:\n{dump}");
+}

@@ -1,0 +1,197 @@
+//! Regression tests pinning the paper's qualitative results — the
+//! "shape" of every figure. If a refactor or recalibration breaks who
+//! wins, by what factor, or where a crossover falls, these fail.
+//!
+//! Each test uses reduced run counts (shapes are robust); the full
+//! sweeps live in `crates/bench/benches/`.
+
+use rdma_stream::blast::{run_blast_seeds, BlastSpec, SizeDist};
+use rdma_stream::exs::{ExsConfig, ProtocolMode};
+use rdma_stream::simnet::SimDuration;
+use rdma_stream::verbs::profiles;
+
+fn fdr_spec(mode: ProtocolMode, sends: usize, recvs: usize) -> BlastSpec {
+    BlastSpec {
+        cfg: ExsConfig::with_mode(mode),
+        outstanding_sends: sends,
+        outstanding_recvs: recvs,
+        messages: 150,
+        ..BlastSpec::new(profiles::fdr_infiniband())
+    }
+}
+
+fn mean_tput(spec: &BlastSpec, seeds: &[u64]) -> f64 {
+    let reports = run_blast_seeds(spec, seeds);
+    reports.iter().map(|r| r.throughput_bps()).sum::<f64>() / reports.len() as f64
+}
+
+fn mean_ratio(spec: &BlastSpec, seeds: &[u64]) -> f64 {
+    let reports = run_blast_seeds(spec, seeds);
+    reports.iter().map(|r| r.direct_ratio()).sum::<f64>() / reports.len() as f64
+}
+
+fn mean_cpu_recv(spec: &BlastSpec, seeds: &[u64]) -> f64 {
+    let reports = run_blast_seeds(spec, seeds);
+    reports.iter().map(|r| r.cpu_receiver).sum::<f64>() / reports.len() as f64
+}
+
+const SEEDS: [u64; 3] = [101, 102, 103];
+
+/// Fig. 9a: equal outstanding ops — direct ≫ indirect; dynamic tracks
+/// indirect. Paper bands: direct 35–44 Gbit/s, indirect 20–27 Gbit/s.
+#[test]
+fn fig9a_equal_ops_shape() {
+    let direct = mean_tput(&fdr_spec(ProtocolMode::DirectOnly, 8, 8), &SEEDS);
+    let indirect = mean_tput(&fdr_spec(ProtocolMode::IndirectOnly, 8, 8), &SEEDS);
+    let dynamic = mean_tput(&fdr_spec(ProtocolMode::Dynamic, 8, 8), &SEEDS);
+
+    assert!(
+        (35e9..46e9).contains(&direct),
+        "direct {direct:.3e} outside the paper band"
+    );
+    assert!(
+        (20e9..29e9).contains(&indirect),
+        "indirect {indirect:.3e} outside the paper band"
+    );
+    assert!(
+        direct > indirect * 1.4,
+        "direct should beat indirect by a wide margin on FDR"
+    );
+    assert!(
+        (dynamic - indirect).abs() / indirect < 0.15,
+        "dynamic ({dynamic:.3e}) should track indirect ({indirect:.3e}) at equal ops"
+    );
+}
+
+/// Fig. 9b: receiver has 2× the sender's ops — dynamic tracks direct.
+#[test]
+fn fig9b_double_recvs_shape() {
+    let direct = mean_tput(&fdr_spec(ProtocolMode::DirectOnly, 8, 16), &SEEDS);
+    let dynamic = mean_tput(&fdr_spec(ProtocolMode::Dynamic, 8, 16), &SEEDS);
+    assert!(
+        (dynamic - direct).abs() / direct < 0.05,
+        "dynamic ({dynamic:.3e}) should track direct ({direct:.3e}) with 2x receives"
+    );
+}
+
+/// Fig. 10: receiver CPU — indirect near 100%, direct far lower, dynamic
+/// tracks its chosen mode.
+#[test]
+fn fig10_cpu_shape() {
+    let direct = mean_cpu_recv(&fdr_spec(ProtocolMode::DirectOnly, 8, 8), &SEEDS);
+    let indirect = mean_cpu_recv(&fdr_spec(ProtocolMode::IndirectOnly, 8, 8), &SEEDS);
+    let dyn_eq = mean_cpu_recv(&fdr_spec(ProtocolMode::Dynamic, 8, 8), &SEEDS);
+    let dyn_2x = mean_cpu_recv(&fdr_spec(ProtocolMode::Dynamic, 8, 16), &SEEDS);
+
+    assert!(
+        indirect > 0.9,
+        "indirect receiver CPU {indirect} should near 100%"
+    );
+    assert!(direct < 0.2, "direct receiver CPU {direct} should stay low");
+    assert!(
+        dyn_eq > 0.7,
+        "dynamic(equal) tracks indirect CPU, got {dyn_eq}"
+    );
+    assert!(dyn_2x < 0.2, "dynamic(2x) tracks direct CPU, got {dyn_2x}");
+}
+
+/// Table III: equal ops → ~1 mode switch, direct ratio < 0.1 for ≥ 4
+/// ops; 2× receives → 0 switches, ratio 1.0 (allowing for the paper's
+/// own race-sensitive anomalies at some op counts).
+#[test]
+fn table3_shape() {
+    let reports = run_blast_seeds(&fdr_spec(ProtocolMode::Dynamic, 8, 8), &SEEDS);
+    for r in &reports {
+        assert!(r.mode_switches >= 1, "equal ops must fall out of direct");
+        assert!(
+            r.direct_ratio() < 0.1,
+            "equal ops ratio {} too high",
+            r.direct_ratio()
+        );
+    }
+    let ratio_2x = mean_ratio(&fdr_spec(ProtocolMode::Dynamic, 8, 16), &SEEDS);
+    assert!(
+        ratio_2x > 0.9,
+        "2x receives should be ~all direct, got {ratio_2x}"
+    );
+}
+
+/// Fig. 12b: the direct ratio crosses to 1.0 at ≥ 512 KiB messages
+/// (recvs = 4, sends = 2) and is far below 1 for small messages.
+#[test]
+fn fig12_crossover_shape() {
+    let spec = |size: u64| BlastSpec {
+        cfg: ExsConfig::with_mode(ProtocolMode::Dynamic),
+        outstanding_sends: 2,
+        outstanding_recvs: 4,
+        sizes: SizeDist::Fixed(size),
+        messages: 150,
+        ..BlastSpec::new(profiles::fdr_infiniband())
+    };
+    let small = mean_ratio(&spec(8 << 10), &SEEDS);
+    let large = mean_ratio(&spec(512 << 10), &SEEDS);
+    let huge = mean_ratio(&spec(2 << 20), &SEEDS);
+    assert!(small < 0.5, "8 KiB ratio {small} should be well below 1");
+    assert!(
+        large > 0.95,
+        "512 KiB ratio {large} should be ~1 (paper crossover)"
+    );
+    assert!(huge > 0.95, "2 MiB ratio {huge} should be ~1");
+}
+
+/// Fig. 13: over a 48 ms RTT the three protocols are within a few
+/// percent, and throughput scales with outstanding ops.
+#[test]
+fn fig13_distance_shape() {
+    let spec = |mode: ProtocolMode, ops: usize| {
+        let mut cfg = ExsConfig::with_mode(mode);
+        cfg.ring_capacity = 256 << 20;
+        BlastSpec {
+            cfg,
+            outstanding_sends: ops,
+            outstanding_recvs: ops,
+            messages: 60,
+            time_limit: SimDuration::from_secs(3600),
+            ..BlastSpec::new(profiles::roce_10g_wan())
+        }
+    };
+    let seeds = [7u64];
+    let d4 = mean_tput(&spec(ProtocolMode::DirectOnly, 4), &seeds);
+    let i4 = mean_tput(&spec(ProtocolMode::IndirectOnly, 4), &seeds);
+    let y4 = mean_tput(&spec(ProtocolMode::Dynamic, 4), &seeds);
+    assert!(
+        (d4 - i4).abs() / d4 < 0.1,
+        "protocols should be similar over distance"
+    );
+    assert!((y4 - i4).abs() / i4 < 0.1);
+
+    let y16 = mean_tput(&spec(ProtocolMode::Dynamic, 16), &seeds);
+    assert!(
+        y16 > y4 * 2.5,
+        "throughput must scale with outstanding ops over distance ({y4:.3e} -> {y16:.3e})"
+    );
+}
+
+/// QDR ablation: the direct-vs-indirect gap shrinks dramatically
+/// compared to FDR (paper §IV-B1 remark).
+#[test]
+fn qdr_gap_shrinks() {
+    let gap = |profile: rdma_stream::verbs::HwProfile| {
+        let spec = |mode| BlastSpec {
+            cfg: ExsConfig::with_mode(mode),
+            outstanding_sends: 8,
+            outstanding_recvs: 8,
+            messages: 100,
+            ..BlastSpec::new(profile.clone())
+        };
+        let d = mean_tput(&spec(ProtocolMode::DirectOnly), &SEEDS);
+        let i = mean_tput(&spec(ProtocolMode::IndirectOnly), &SEEDS);
+        (d - i) / d
+    };
+    let fdr_gap = gap(profiles::fdr_infiniband());
+    let qdr_gap = gap(profiles::qdr_infiniband());
+    assert!(
+        qdr_gap < fdr_gap * 0.5,
+        "QDR gap {qdr_gap:.2} should be far below FDR gap {fdr_gap:.2}"
+    );
+}
