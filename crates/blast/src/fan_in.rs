@@ -1,0 +1,571 @@
+//! Fan-in workload: M client streams blast into **one** server node.
+//!
+//! Where [`crate::runner`] reproduces the paper's 1:1 blast tool, this
+//! module measures the server-scalability question the reactor
+//! subsystem exists for: how one node multiplexes hundreds or thousands
+//! of EXS connections through a single [`Reactor`] over shared
+//! completion queues, instead of polling per-connection CQs.
+//!
+//! The run reports aggregate ingress throughput, the per-connection
+//! direct:indirect split, and the reactor's event-loop counters (CQ
+//! drain batch sizes, fairness deferrals). Per-connection delivery is
+//! digested with FNV-1a in arrival order so different backends running
+//! the same seed can be compared byte-for-byte.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use exs::{
+    ConnId, ConnStats, ExsConfig, ExsEvent, Reactor, ReactorConfig, ReactorStats, StreamSocket,
+};
+use rdma_verbs::{Access, HwProfile, MrInfo, NodeApi, NodeApp, NodeId, SimNet};
+use simnet::{SimDuration, SimTime};
+
+use crate::runner::VerifyLevel;
+
+/// FNV-1a 64-bit offset basis (digest seed).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into an FNV-1a 64-bit digest.
+pub fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The byte every backend writes at stream `offset` of connection
+/// `conn` for workload seed `seed` — shared so the SimFabric and
+/// ThreadFabric runs produce comparable streams.
+pub fn payload_byte(seed: u64, conn: usize, offset: u64) -> u8 {
+    offset
+        .wrapping_mul(31)
+        .wrapping_add(conn as u64 * 7)
+        .wrapping_add(seed) as u8
+}
+
+/// The digest a connection's full stream must hash to.
+pub fn expected_digest(seed: u64, conn: usize, total: u64) -> u64 {
+    let mut h = FNV_OFFSET;
+    for off in 0..total {
+        h = fnv1a(h, &[payload_byte(seed, conn, off)]);
+    }
+    h
+}
+
+/// An [`ExsConfig`] sized for many concurrent connections on one node:
+/// the defaults (16 MiB ring, 1024 credits) are per-connection resource
+/// budgets a thousand-way fan-in cannot afford.
+pub fn fan_in_cfg() -> ExsConfig {
+    ExsConfig {
+        ring_capacity: 64 << 10,
+        credits: 16,
+        sq_depth: 16,
+        ..ExsConfig::default()
+    }
+}
+
+/// One fan-in experiment configuration.
+#[derive(Clone, Debug)]
+pub struct FanInSpec {
+    /// Hardware model for every node and link.
+    pub profile: HwProfile,
+    /// Per-connection EXS configuration (see [`fan_in_cfg`]).
+    pub cfg: ExsConfig,
+    /// Reactor tunables (budget, drain batch).
+    pub reactor: ReactorConfig,
+    /// Concurrent connections into the server.
+    pub conns: usize,
+    /// Client nodes the connections are spread over (round-robin;
+    /// clamped to `1..=conns`).
+    pub client_nodes: usize,
+    /// Messages each connection sends.
+    pub msgs_per_conn: usize,
+    /// Bytes per message.
+    pub msg_len: u64,
+    /// Simultaneously outstanding `exs_send`s per connection.
+    pub outstanding_sends: usize,
+    /// Posted receive length (0 ⇒ `msg_len`).
+    pub recv_len: u32,
+    /// Payload verification level.
+    pub verify: VerifyLevel,
+    /// Workload seed (host jitter, link seeds, payload pattern).
+    pub seed: u64,
+    /// Abort threshold for the virtual clock.
+    pub time_limit: SimDuration,
+}
+
+impl FanInSpec {
+    /// A spec with scale-friendly defaults for `conns` connections.
+    pub fn new(profile: HwProfile, conns: usize) -> FanInSpec {
+        FanInSpec {
+            profile,
+            cfg: fan_in_cfg(),
+            reactor: ReactorConfig::default(),
+            conns,
+            client_nodes: conns.min(8),
+            msgs_per_conn: 8,
+            msg_len: 16 << 10,
+            outstanding_sends: 2,
+            recv_len: 0,
+            verify: VerifyLevel::None,
+            seed: 1,
+            time_limit: SimDuration::from_secs(600),
+        }
+    }
+
+    fn effective_recv_len(&self) -> u32 {
+        if self.recv_len != 0 {
+            self.recv_len
+        } else {
+            self.msg_len.min(u32::MAX as u64) as u32
+        }
+    }
+}
+
+/// The result of one fan-in run.
+#[derive(Clone, Debug)]
+pub struct FanInReport {
+    /// Connections that ran.
+    pub conns: usize,
+    /// Total bytes delivered across all connections.
+    pub bytes: u64,
+    /// Virtual time from start to the last byte's delivery.
+    pub elapsed: SimDuration,
+    /// Each connection's server-side protocol counters.
+    pub per_conn: Vec<ConnStats>,
+    /// FNV-1a digest of each connection's delivered stream, in delivery
+    /// order.
+    pub digests: Vec<u64>,
+    /// Sum of the per-connection counters.
+    pub aggregate: ConnStats,
+    /// The server reactor's event-loop counters.
+    pub reactor: ReactorStats,
+    /// Simulator events processed.
+    pub events: u64,
+}
+
+impl FanInReport {
+    /// Aggregate ingress throughput in Mbit/s.
+    pub fn throughput_mbps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 / self.elapsed.as_secs_f64() / 1e6
+        }
+    }
+
+    /// Direct share of all transfers into the server.
+    pub fn direct_ratio(&self) -> f64 {
+        self.aggregate.direct_ratio()
+    }
+
+    /// Serializes the whole run — aggregate counters, reactor counters,
+    /// and the per-connection snapshots — as one JSON object
+    /// (dependency-free, like [`ConnStats::to_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512 + self.per_conn.len() * 256);
+        out.push_str(&format!(
+            "{{\"conns\":{},\"bytes\":{},\"elapsed_ns\":{},\
+             \"throughput_mbps\":{:.3},\"direct_ratio\":{:.6},\"events\":{},",
+            self.conns,
+            self.bytes,
+            self.elapsed.as_nanos(),
+            self.throughput_mbps(),
+            self.direct_ratio(),
+            self.events,
+        ));
+        out.push_str(&format!("\"aggregate\":{},", self.aggregate.to_json()));
+        out.push_str(&format!("\"reactor\":{},", self.reactor.to_json()));
+        out.push_str("\"digests\":[");
+        for (i, d) in self.digests.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{d:016x}\""));
+        }
+        out.push_str("],\"per_conn\":[");
+        for (i, s) in self.per_conn.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&s.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes the JSON snapshot to `dir/name.json` (creating `dir`),
+    /// returning the path written.
+    pub fn write_snapshot(&self, dir: impl AsRef<Path>, name: &str) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.json"));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        f.write_all(b"\n")?;
+        Ok(path)
+    }
+}
+
+struct ConnState {
+    sock: StreamSocket,
+    /// Global connection index (pattern + digest identity).
+    idx: usize,
+    slots: Vec<MrInfo>,
+    free: Vec<usize>,
+    slot_of: HashMap<u64, usize>,
+    sent: usize,
+    acked: usize,
+    pos: u64,
+    shutdown: bool,
+}
+
+/// One client node driving several outbound connections, each with its
+/// own private CQs and service loop (the conventional per-connection
+/// pattern the server-side reactor is measured against).
+struct FanInClient {
+    conns: Vec<ConnState>,
+    msgs: usize,
+    msg_len: u64,
+    verify: VerifyLevel,
+    seed: u64,
+    scratch: Vec<u8>,
+}
+
+impl FanInClient {
+    fn kick(&mut self, api: &mut NodeApi<'_>, ci: usize) {
+        let msgs = self.msgs;
+        let msg_len = self.msg_len;
+        let c = &mut self.conns[ci];
+        while c.sent < msgs {
+            let Some(slot) = c.free.pop() else {
+                break;
+            };
+            let mr = c.slots[slot];
+            if self.verify == VerifyLevel::Full {
+                self.scratch.clear();
+                self.scratch
+                    .extend((0..msg_len).map(|i| payload_byte(self.seed, c.idx, c.pos + i)));
+                api.write_mr(mr.key, mr.addr, &self.scratch).unwrap();
+            }
+            c.slot_of.insert(c.sent as u64, slot);
+            c.sock.exs_send(api, &mr, 0, msg_len, c.sent as u64);
+            c.pos += msg_len;
+            c.sent += 1;
+        }
+        if c.sent == msgs && c.acked == msgs && !c.shutdown {
+            c.sock.exs_shutdown(api);
+            c.shutdown = true;
+        }
+    }
+}
+
+impl NodeApp for FanInClient {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        for ci in 0..self.conns.len() {
+            self.kick(api, ci);
+        }
+    }
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        for ci in 0..self.conns.len() {
+            let c = &mut self.conns[ci];
+            c.sock.handle_wake(api);
+            for ev in c.sock.take_events() {
+                match ev {
+                    ExsEvent::SendComplete { id, .. } => {
+                        let slot = c.slot_of.remove(&id).expect("slot of send id");
+                        c.free.push(slot);
+                        c.acked += 1;
+                    }
+                    ExsEvent::ConnectionError => panic!("fan-in client conn {} failed", c.idx),
+                    _ => {}
+                }
+            }
+            self.kick(api, ci);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.conns.iter().all(|c| c.shutdown)
+    }
+}
+
+/// The server: every accepted connection multiplexed through one
+/// [`Reactor`] over shared CQs, serviced to quiescence on each wake.
+struct ReactorServer {
+    reactor: Reactor,
+    mrs: Vec<MrInfo>,
+    recv_len: u32,
+    /// Expected bytes per connection.
+    expected: u64,
+    received: Vec<u64>,
+    eof: Vec<bool>,
+    outstanding: Vec<bool>,
+    digests: Vec<u64>,
+    verify: VerifyLevel,
+    seed: u64,
+    next_id: u64,
+    finished_at: Option<SimTime>,
+    scratch: Vec<u8>,
+}
+
+impl ReactorServer {
+    /// Consumes one ready connection's events and re-posts its receive.
+    /// Returns true if anything was consumed or posted (progress).
+    fn handle_conn(&mut self, api: &mut NodeApi<'_>, conn: ConnId) -> bool {
+        let idx = conn.0 as usize;
+        let events = self.reactor.take_events(conn);
+        let mut progressed = !events.is_empty();
+        for ev in events {
+            match ev {
+                ExsEvent::RecvComplete { len, .. } => {
+                    self.outstanding[idx] = false;
+                    if len > 0 {
+                        let mr = self.mrs[idx];
+                        self.scratch.resize(len as usize, 0);
+                        api.read_mr(mr.key, mr.addr, &mut self.scratch).unwrap();
+                        if self.verify == VerifyLevel::Full {
+                            for (i, &b) in self.scratch.iter().enumerate() {
+                                assert_eq!(
+                                    b,
+                                    payload_byte(self.seed, idx, self.received[idx] + i as u64),
+                                    "conn {idx} corrupted at offset {}",
+                                    self.received[idx] + i as u64
+                                );
+                            }
+                        }
+                        self.digests[idx] = fnv1a(self.digests[idx], &self.scratch);
+                        self.received[idx] += len as u64;
+                    }
+                }
+                ExsEvent::PeerClosed => self.eof[idx] = true,
+                ExsEvent::ConnectionError => panic!("fan-in server conn {idx} failed"),
+                ExsEvent::SendComplete { .. } => {}
+            }
+        }
+        if !self.eof[idx] && !self.outstanding[idx] && self.received[idx] < self.expected {
+            let mr = self.mrs[idx];
+            let id = self.next_id;
+            self.next_id += 1;
+            self.reactor
+                .conn_mut(conn)
+                .exs_recv(api, &mr, 0, self.recv_len, false, id);
+            self.outstanding[idx] = true;
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// Polls the reactor until quiescent: no connection made progress
+    /// and no CQ/budget backlog remains. Bounded because each iteration
+    /// consumes queued completions and each connection posts at most
+    /// one receive per iteration.
+    fn service(&mut self, api: &mut NodeApi<'_>) {
+        loop {
+            let ready = self.reactor.poll(api);
+            let mut progressed = false;
+            for (conn, r) in ready {
+                if r.readable || r.closed || r.error {
+                    progressed |= self.handle_conn(api, conn);
+                }
+            }
+            if self.finished_at.is_none() && self.is_done() {
+                self.finished_at = Some(api.now());
+            }
+            if !progressed && !self.reactor.has_backlog() {
+                break;
+            }
+        }
+    }
+}
+
+impl NodeApp for ReactorServer {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        // Post the initial receive on every connection (none is
+        // "readable" yet, so prime directly rather than via poll).
+        for conn in self.reactor.conn_ids() {
+            self.handle_conn(api, conn);
+        }
+    }
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        self.service(api);
+    }
+    fn is_done(&self) -> bool {
+        self.eof.iter().all(|&e| e) && self.received.iter().all(|&r| r == self.expected)
+    }
+}
+
+/// Runs one fan-in experiment on the simulated fabric.
+///
+/// # Panics
+/// Panics on deadlock/timeout, payload corruption (with
+/// [`VerifyLevel::Full`]), or any connection error — all protocol bugs.
+pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
+    assert!(spec.conns >= 1, "need at least one connection");
+    let expected = spec.msgs_per_conn as u64 * spec.msg_len;
+    let recv_len = spec.effective_recv_len();
+
+    let mut net = SimNet::new();
+    net.set_host_seed(
+        spec.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(3),
+    );
+    let server_node = net.add_node(spec.profile.host.clone(), spec.profile.hca.clone());
+    let nclients = spec.client_nodes.clamp(1, spec.conns);
+    let client_nodes: Vec<NodeId> = (0..nclients)
+        .map(|_| net.add_node(spec.profile.host.clone(), spec.profile.hca.clone()))
+        .collect();
+    for (i, &c) in client_nodes.iter().enumerate() {
+        net.connect_nodes(
+            c,
+            server_node,
+            spec.profile.link.clone(),
+            spec.seed.wrapping_add(i as u64),
+        );
+    }
+
+    // Shared CQs sized for every connection's worst case.
+    let per_conn_cq = spec.cfg.sq_depth * 2 + spec.cfg.credits as usize * 2;
+    let (send_cq, recv_cq) = net.with_api(server_node, |api| {
+        (
+            api.create_cq(per_conn_cq * spec.conns),
+            api.create_cq(per_conn_cq * spec.conns),
+        )
+    });
+    let mut reactor = Reactor::new(send_cq, recv_cq, spec.reactor);
+
+    let mut clients: Vec<FanInClient> = (0..nclients)
+        .map(|_| FanInClient {
+            conns: Vec::new(),
+            msgs: spec.msgs_per_conn,
+            msg_len: spec.msg_len,
+            verify: spec.verify,
+            seed: spec.seed,
+            scratch: Vec::new(),
+        })
+        .collect();
+    let mut server_mrs = Vec::with_capacity(spec.conns);
+    for idx in 0..spec.conns {
+        let cnode = client_nodes[idx % nclients];
+        let (csock, ssock) =
+            StreamSocket::pair_shared(&mut net, cnode, server_node, send_cq, recv_cq, &spec.cfg);
+        let conn = reactor.accept(ssock);
+        assert_eq!(conn.0 as usize, idx, "accept order defines conn ids");
+        let slots = net.with_api(cnode, |api| {
+            (0..spec.outstanding_sends.max(1))
+                .map(|_| api.register_mr(spec.msg_len as usize, Access::NONE))
+                .collect::<Vec<_>>()
+        });
+        let free = (0..slots.len()).collect();
+        clients[idx % nclients].conns.push(ConnState {
+            sock: csock,
+            idx,
+            slots,
+            free,
+            slot_of: HashMap::new(),
+            sent: 0,
+            acked: 0,
+            pos: 0,
+            shutdown: false,
+        });
+        server_mrs.push(net.with_api(server_node, |api| {
+            api.register_mr(recv_len as usize, Access::local_remote_write())
+        }));
+    }
+
+    let mut server = ReactorServer {
+        reactor,
+        mrs: server_mrs,
+        recv_len,
+        expected,
+        received: vec![0; spec.conns],
+        eof: vec![false; spec.conns],
+        outstanding: vec![false; spec.conns],
+        digests: vec![FNV_OFFSET; spec.conns],
+        verify: spec.verify,
+        seed: spec.seed,
+        next_id: 0,
+        finished_at: None,
+        scratch: Vec::new(),
+    };
+
+    let mut apps: Vec<&mut dyn NodeApp> = Vec::with_capacity(1 + nclients);
+    apps.push(&mut server);
+    for c in clients.iter_mut() {
+        apps.push(c);
+    }
+    let outcome = net.run(&mut apps, SimTime::ZERO + spec.time_limit);
+    assert!(
+        outcome.completed,
+        "fan-in deadlocked or timed out: {} of {} conns at EOF, {:?} received, ended {:?}",
+        server.eof.iter().filter(|&&e| e).count(),
+        spec.conns,
+        server.received.iter().sum::<u64>(),
+        outcome.end,
+    );
+
+    let end = server.finished_at.unwrap_or(outcome.end);
+    let per_conn: Vec<ConnStats> = server
+        .reactor
+        .conn_ids()
+        .into_iter()
+        .map(|c| server.reactor.conn(c).stats().clone())
+        .collect();
+    let aggregate = server.reactor.aggregate_conn_stats();
+    let reactor_stats = server.reactor.stats().clone();
+    assert_eq!(reactor_stats.orphan_cqes, 0, "no completion went unrouted");
+    assert_eq!(
+        aggregate.bytes_received,
+        expected * spec.conns as u64,
+        "every stream fully delivered"
+    );
+
+    FanInReport {
+        conns: spec.conns,
+        bytes: expected * spec.conns as u64,
+        elapsed: end.saturating_duration_since(SimTime::ZERO),
+        per_conn,
+        digests: server.digests,
+        aggregate,
+        reactor: reactor_stats,
+        events: outcome.events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdma_verbs::profiles;
+
+    #[test]
+    fn digest_matches_expected_pattern() {
+        let mut h = FNV_OFFSET;
+        let bytes: Vec<u8> = (0..100).map(|i| payload_byte(7, 3, i)).collect();
+        h = fnv1a(h, &bytes);
+        assert_eq!(h, expected_digest(7, 3, 100));
+        assert_ne!(h, expected_digest(7, 4, 100), "digests separate streams");
+    }
+
+    #[test]
+    fn small_fan_in_runs_and_verifies() {
+        let spec = FanInSpec {
+            msgs_per_conn: 4,
+            msg_len: 8 << 10,
+            verify: VerifyLevel::Full,
+            ..FanInSpec::new(profiles::fdr_infiniband(), 4)
+        };
+        let report = run_fan_in(&spec);
+        assert_eq!(report.bytes, 4 * 4 * (8 << 10));
+        assert!(report.throughput_mbps() > 0.0);
+        assert_eq!(report.reactor.conns_added, 4);
+        for (i, &d) in report.digests.iter().enumerate() {
+            assert_eq!(d, expected_digest(spec.seed, i, 4 * (8 << 10)));
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"per_conn\":["));
+        assert!(json.contains("\"reactor\":{"));
+    }
+}

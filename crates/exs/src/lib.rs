@@ -34,7 +34,8 @@
 //! | [`stream`] | SOCK_STREAM sockets over a verbs QP |
 //! | [`seqpacket`] | SOCK_SEQPACKET message mode (§II-C) |
 //! | [`api`] | ES-API-flavoured convenience layer |
-//! | [`stats`] | Table III counters |
+//! | [`reactor`] | epoll-style readiness multiplexing of many streams |
+//! | [`stats`] | Table III counters + event-loop aggregates |
 
 #![warn(missing_docs)]
 
@@ -44,6 +45,7 @@ pub mod config;
 pub mod messages;
 pub mod phase;
 pub mod port;
+pub mod reactor;
 pub mod receiver;
 pub mod sender;
 pub mod seq;
@@ -57,8 +59,9 @@ pub use config::{ConfigError, ExsConfig, ProtocolMode, WwiMode};
 pub use messages::{Advert, Ctrl, CtrlMsg, TransferKind};
 pub use phase::Phase;
 pub use port::VerbsPort;
+pub use reactor::{ConnId, Reactor, ReactorConfig, Readiness};
 pub use seq::Seq;
 pub use seqpacket::{SeqPacketEvent, SeqPacketSocket};
-pub use stats::ConnStats;
+pub use stats::{ConnStats, ReactorStats};
 pub use stream::{ExsEvent, StreamSocket};
-pub use threaded::{ThreadPort, ThreadStream};
+pub use threaded::{ThreadPort, ThreadReactor, ThreadStream};

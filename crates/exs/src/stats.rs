@@ -69,11 +69,173 @@ impl ConnStats {
             self.direct_bytes as f64 / total as f64
         }
     }
+
+    /// Adds another endpoint's counters into this one (fan-in
+    /// aggregation across a reactor's connections).
+    pub fn merge(&mut self, other: &ConnStats) {
+        self.direct_transfers += other.direct_transfers;
+        self.indirect_transfers += other.indirect_transfers;
+        self.direct_bytes += other.direct_bytes;
+        self.indirect_bytes += other.indirect_bytes;
+        self.mode_switches += other.mode_switches;
+        self.adverts_sent += other.adverts_sent;
+        self.adverts_received += other.adverts_received;
+        self.adverts_discarded += other.adverts_discarded;
+        self.acks_sent += other.acks_sent;
+        self.acks_received += other.acks_received;
+        self.credits_sent += other.credits_sent;
+        self.bytes_copied_out += other.bytes_copied_out;
+        self.sends_completed += other.sends_completed;
+        self.recvs_completed += other.recvs_completed;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+    }
+
+    /// Serializes the counters (plus derived ratios) as a JSON object.
+    /// Hand-rolled on purpose: the counter snapshots written into
+    /// `bench-results/` must not pull a serialization dependency into
+    /// the protocol crate.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"direct_transfers\":{},\"indirect_transfers\":{},",
+                "\"direct_bytes\":{},\"indirect_bytes\":{},",
+                "\"mode_switches\":{},\"adverts_sent\":{},",
+                "\"adverts_received\":{},\"adverts_discarded\":{},",
+                "\"acks_sent\":{},\"acks_received\":{},\"credits_sent\":{},",
+                "\"bytes_copied_out\":{},\"sends_completed\":{},",
+                "\"recvs_completed\":{},\"bytes_sent\":{},",
+                "\"bytes_received\":{},\"direct_ratio\":{:.6},",
+                "\"direct_byte_ratio\":{:.6}}}"
+            ),
+            self.direct_transfers,
+            self.indirect_transfers,
+            self.direct_bytes,
+            self.indirect_bytes,
+            self.mode_switches,
+            self.adverts_sent,
+            self.adverts_received,
+            self.adverts_discarded,
+            self.acks_sent,
+            self.acks_received,
+            self.credits_sent,
+            self.bytes_copied_out,
+            self.sends_completed,
+            self.recvs_completed,
+            self.bytes_sent,
+            self.bytes_received,
+            self.direct_ratio(),
+            self.direct_byte_ratio(),
+        )
+    }
+}
+
+/// Aggregate counters for one [`crate::reactor::Reactor`], layered on
+/// top of the per-connection [`ConnStats`]: where `ConnStats` describes
+/// one stream's protocol behaviour, `ReactorStats` describes how the
+/// event loop multiplexed all of them — batch sizes, fairness
+/// deferrals, readiness reports.
+#[derive(Clone, Debug, Default)]
+pub struct ReactorStats {
+    /// Connections ever added (accepted) to the reactor.
+    pub conns_added: u64,
+    /// Connections removed.
+    pub conns_removed: u64,
+    /// Calls to `Reactor::poll`.
+    pub polls: u64,
+    /// CQ drain batches that returned at least one completion.
+    pub cq_batches: u64,
+    /// Completions dispatched to owning connections, total.
+    pub cqes_dispatched: u64,
+    /// Largest single CQ drain batch.
+    pub max_cq_batch: u64,
+    /// Times a connection hit its per-poll budget with completions
+    /// still queued (fairness deferral; the leftovers are serviced in a
+    /// later round).
+    pub deferrals: u64,
+    /// Completions that arrived for a QP no longer in the reactor
+    /// (connection removed with completions in flight); dropped.
+    pub orphan_cqes: u64,
+    /// `(conn, readiness)` entries reported to the caller, total.
+    pub readiness_reports: u64,
+}
+
+impl ReactorStats {
+    /// Mean completions per non-empty CQ drain batch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.cq_batches == 0 {
+            0.0
+        } else {
+            self.cqes_dispatched as f64 / self.cq_batches as f64
+        }
+    }
+
+    /// Serializes the counters as a JSON object (dependency-free, like
+    /// [`ConnStats::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"conns_added\":{},\"conns_removed\":{},\"polls\":{},",
+                "\"cq_batches\":{},\"cqes_dispatched\":{},",
+                "\"max_cq_batch\":{},\"deferrals\":{},\"orphan_cqes\":{},",
+                "\"readiness_reports\":{},\"mean_batch\":{:.6}}}"
+            ),
+            self.conns_added,
+            self.conns_removed,
+            self.polls,
+            self.cq_batches,
+            self.cqes_dispatched,
+            self.max_cq_batch,
+            self.deferrals,
+            self.orphan_cqes,
+            self.readiness_reports,
+            self.mean_batch(),
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_snapshots_are_parseable_shape() {
+        let s = ConnStats {
+            direct_transfers: 3,
+            indirect_transfers: 1,
+            ..ConnStats::default()
+        };
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"direct_transfers\":3"));
+        assert!(j.contains("\"direct_ratio\":0.750000"));
+
+        let r = ReactorStats {
+            cq_batches: 2,
+            cqes_dispatched: 7,
+            ..ReactorStats::default()
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"cqes_dispatched\":7"));
+        assert!(j.contains("\"mean_batch\":3.500000"));
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = ConnStats {
+            bytes_sent: 10,
+            direct_transfers: 2,
+            ..ConnStats::default()
+        };
+        let b = ConnStats {
+            bytes_sent: 5,
+            indirect_transfers: 3,
+            ..ConnStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.bytes_sent, 15);
+        assert_eq!(a.total_transfers(), 5);
+    }
 
     #[test]
     fn ratios() {

@@ -24,8 +24,8 @@
 use std::collections::{HashMap, VecDeque};
 
 use rdma_verbs::{
-    connect_pair, Cqe, MrInfo, NodeApi, NodeId, QpCaps, QpNum, RecvWr, RemoteAddr, SendWr, Sge,
-    SimNet, WcOpcode, WcStatus,
+    connect_pair, connect_pair_on_cqs, Cqe, MrInfo, NodeApi, NodeId, QpCaps, QpNum, RecvWr,
+    RemoteAddr, SendWr, Sge, SimNet, WcOpcode, WcStatus,
 };
 use rdma_verbs::{Access, CqId, MrKey};
 
@@ -203,9 +203,73 @@ impl StreamSocket {
         (pa.complete(ib), pb.complete(ia))
     }
 
+    /// Like [`StreamSocket::pair`], but the `server` endpoint's QP
+    /// completes onto the caller-provided CQs instead of fresh ones —
+    /// the shape a [`crate::reactor::Reactor`] needs, where many
+    /// accepted connections share one send and one receive CQ. The
+    /// client side keeps private CQs.
+    pub fn pair_shared(
+        net: &mut SimNet,
+        client: NodeId,
+        server: NodeId,
+        server_send_cq: CqId,
+        server_recv_cq: CqId,
+        cfg: &ExsConfig,
+    ) -> (StreamSocket, StreamSocket) {
+        let caps = QpCaps {
+            max_send_wr: cfg.sq_depth * 2 + 8,
+            max_recv_wr: cfg.credits as usize + 8,
+            max_inline: 256,
+        };
+        let cq_depth = cfg.sq_depth * 2 + cfg.credits as usize * 2;
+        let (hc, hs) = connect_pair_on_cqs(
+            net,
+            client,
+            server,
+            caps,
+            cq_depth,
+            Some((server_send_cq, server_recv_cq)),
+        )
+        .expect("connect");
+        let (pc, ic) = net.with_api(client, |api| {
+            StreamSocket::prepare(api, hc.qpn, hc.send_cq, hc.recv_cq, cfg)
+        });
+        let (ps, is) = net.with_api(server, |api| {
+            StreamSocket::prepare(api, hs.qpn, hs.send_cq, hs.recv_cq, cfg)
+        });
+        (pc.complete(is), ps.complete(ic))
+    }
+
     /// This endpoint's node.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// The queue pair this endpoint owns (the reactor's dispatch key).
+    pub fn qpn(&self) -> QpNum {
+        self.qpn
+    }
+
+    /// The CQ this endpoint's send completions land on.
+    pub fn send_cq(&self) -> CqId {
+        self.send_cq
+    }
+
+    /// The CQ this endpoint's receive completions land on.
+    pub fn recv_cq(&self) -> CqId {
+        self.recv_cq
+    }
+
+    /// Number of user events queued and not yet taken.
+    pub fn events_pending(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Level-triggered writability: a new `exs_send` would start
+    /// dispatching immediately instead of queueing behind earlier sends
+    /// (and the sending direction is still open).
+    pub fn writable(&self) -> bool {
+        !self.send_closed && !self.broken && self.pending_sends.is_empty()
     }
 
     /// Protocol statistics for this endpoint.
@@ -425,6 +489,15 @@ impl StreamSocket {
                 self.on_send_cqe(api, cqe);
             }
         }
+        self.progress(api);
+    }
+
+    /// Advances the protocol after completions were applied: dispatches
+    /// queued sends, queues the FIN when due, flushes control messages
+    /// and credit returns, and delivers end-of-stream. Backends that
+    /// dispatch CQEs themselves (the reactor) call this once per
+    /// service round instead of [`StreamSocket::handle_wake`].
+    pub(crate) fn progress(&mut self, api: &mut impl VerbsPort) {
         if self.broken {
             return;
         }
@@ -440,7 +513,7 @@ impl StreamSocket {
         std::mem::take(&mut self.events)
     }
 
-    fn on_recv_cqe(&mut self, api: &mut impl VerbsPort, cqe: Cqe) {
+    pub(crate) fn on_recv_cqe(&mut self, api: &mut impl VerbsPort, cqe: Cqe) {
         if cqe.status != WcStatus::Success {
             self.mark_broken();
             return;
@@ -514,7 +587,7 @@ impl StreamSocket {
         self.owed_credits += 1;
     }
 
-    fn on_send_cqe(&mut self, api: &mut impl VerbsPort, cqe: Cqe) {
+    pub(crate) fn on_send_cqe(&mut self, api: &mut impl VerbsPort, cqe: Cqe) {
         if cqe.status != WcStatus::Success {
             self.mark_broken();
             return;

@@ -27,6 +27,8 @@ use rdma_verbs::{Access, CqId, Cqe, MrInfo, MrKey, QpCaps, QpNum, RecvWr, Result
 
 use crate::config::ExsConfig;
 use crate::port::VerbsPort;
+use crate::reactor::{ConnId, Reactor, ReactorConfig};
+use crate::stats::ConnStats;
 use crate::stream::{ExsEvent, PreparedSocket, StreamSocket, CTRL_SLOT};
 
 /// [`VerbsPort`] implementation over a [`ThreadNet`] node.
@@ -91,12 +93,86 @@ impl VerbsPort for ThreadPort<'_> {
     }
 }
 
+/// Creates one endpoint's verbs objects on `node`: CQs (or the given
+/// shared ones), a QP, the intermediate ring and the control-slot
+/// region. Returns `(qpn, send_cq, recv_cq, ring_mr, ctrl_mr)`.
+fn endpoint_objects(
+    node: &Arc<ThreadNode>,
+    cfg: &ExsConfig,
+    shared_cqs: Option<(CqId, CqId)>,
+) -> (QpNum, CqId, CqId, MrInfo, MrInfo) {
+    let caps = QpCaps {
+        max_send_wr: cfg.sq_depth * 2 + 8,
+        max_recv_wr: cfg.credits as usize + 8,
+        max_inline: 256,
+    };
+    let cq_depth = cfg.sq_depth * 2 + cfg.credits as usize * 2;
+    node.with_hca(|h| {
+        let (send_cq, recv_cq) = match shared_cqs {
+            Some(cqs) => cqs,
+            None => (h.create_cq(cq_depth), h.create_cq(cq_depth)),
+        };
+        let qpn = h.create_qp(send_cq, recv_cq, caps).expect("create qp");
+        let ring_mr = h.register_mr(cfg.ring_capacity as usize, Access::local_remote_write());
+        let ctrl_mr = h.register_mr(
+            (cfg.credits as u64 * CTRL_SLOT) as usize,
+            Access::LOCAL_WRITE,
+        );
+        (qpn, send_cq, recv_cq, ring_mr, ctrl_mr)
+    })
+}
+
+/// Connects a fresh [`StreamSocket`] pair between two nodes of an
+/// existing thread fabric. With `b_cqs`, `b`'s QP completes onto those
+/// shared CQs (the [`ThreadReactor`] accept path) instead of private
+/// ones.
+pub fn connect_sockets_over(
+    a: &Arc<ThreadNode>,
+    b: &Arc<ThreadNode>,
+    cfg: &ExsConfig,
+    b_cqs: Option<(CqId, CqId)>,
+) -> (StreamSocket, StreamSocket) {
+    let (a_qp, a_scq, a_rcq, a_ring, a_ctrl) = endpoint_objects(a, cfg, None);
+    let (b_qp, b_scq, b_rcq, b_ring, b_ctrl) = endpoint_objects(b, cfg, b_cqs);
+    a.with_hca(|h| h.connect_qp(a_qp, (b.id(), b_qp)).expect("connect a"));
+    b.with_hca(|h| h.connect_qp(b_qp, (a.id(), a_qp)).expect("connect b"));
+    for (node, qpn, ctrl) in [(a, a_qp, a_ctrl), (b, b_qp, b_ctrl)] {
+        for slot in 0..cfg.credits {
+            let sge = ctrl.sge(slot as u64 * CTRL_SLOT, CTRL_SLOT as u32);
+            node.post_recv(qpn, RecvWr::new(slot as u64, sge))
+                .expect("pre-post control receive");
+        }
+    }
+    let (pa, ia) =
+        PreparedSocket::from_raw(a.id(), a_qp, a_scq, a_rcq, cfg.clone(), a_ring, a_ctrl);
+    let (pb, ib) =
+        PreparedSocket::from_raw(b.id(), b_qp, b_scq, b_rcq, cfg.clone(), b_ring, b_ctrl);
+    (pa.complete(ib), pb.complete(ia))
+}
+
 #[derive(Default)]
 struct EventBuf {
     sends_done: HashMap<u64, u64>,
     recvs_done: HashMap<u64, u32>,
     peer_closed: bool,
     broken: bool,
+}
+
+impl EventBuf {
+    fn absorb(&mut self, events: Vec<ExsEvent>) {
+        for ev in events {
+            match ev {
+                ExsEvent::SendComplete { id, len } => {
+                    self.sends_done.insert(id, len);
+                }
+                ExsEvent::RecvComplete { id, len } => {
+                    self.recvs_done.insert(id, len);
+                }
+                ExsEvent::PeerClosed => self.peer_closed = true,
+                ExsEvent::ConnectionError => self.broken = true,
+            }
+        }
+    }
 }
 
 struct Shared {
@@ -142,49 +218,7 @@ impl ThreadStream {
         let b = net.add_node(rdma_verbs::HcaConfig::default());
         net.connect_nodes(&a, &b, delay);
         let net = Arc::new(net);
-
-        let prep = |node: &Arc<ThreadNode>, peer_qpn_slot: &mut Option<QpNum>| {
-            let caps = QpCaps {
-                max_send_wr: cfg.sq_depth * 2 + 8,
-                max_recv_wr: cfg.credits as usize + 8,
-                max_inline: 256,
-            };
-            let cq_depth = cfg.sq_depth * 2 + cfg.credits as usize * 2;
-            node.with_hca(|h| {
-                let send_cq = h.create_cq(cq_depth);
-                let recv_cq = h.create_cq(cq_depth);
-                let qpn = h.create_qp(send_cq, recv_cq, caps).expect("create qp");
-                let ring_mr =
-                    h.register_mr(cfg.ring_capacity as usize, Access::local_remote_write());
-                let ctrl_mr = h.register_mr(
-                    (cfg.credits as u64 * CTRL_SLOT) as usize,
-                    Access::LOCAL_WRITE,
-                );
-                *peer_qpn_slot = Some(qpn);
-                (send_cq, recv_cq, qpn, ring_mr, ctrl_mr)
-            })
-        };
-        let mut qa = None;
-        let mut qb = None;
-        let (a_scq, a_rcq, a_qp, a_ring, a_ctrl) = prep(&a, &mut qa);
-        let (b_scq, b_rcq, b_qp, b_ring, b_ctrl) = prep(&b, &mut qb);
-        a.with_hca(|h| h.connect_qp(a_qp, (b.id(), b_qp)).expect("connect a"));
-        b.with_hca(|h| h.connect_qp(b_qp, (a.id(), a_qp)).expect("connect b"));
-        for (node, qpn, ctrl) in [(&a, a_qp, a_ctrl), (&b, b_qp, b_ctrl)] {
-            for slot in 0..cfg.credits {
-                let sge = ctrl.sge(slot as u64 * CTRL_SLOT, CTRL_SLOT as u32);
-                node.post_recv(qpn, RecvWr::new(slot as u64, sge))
-                    .expect("pre-post control receive");
-            }
-        }
-
-        let (pa, ia) =
-            PreparedSocket::from_raw(a.id(), a_qp, a_scq, a_rcq, cfg.clone(), a_ring, a_ctrl);
-        let (pb, ib) =
-            PreparedSocket::from_raw(b.id(), b_qp, b_scq, b_rcq, cfg.clone(), b_ring, b_ctrl);
-        let sock_a = pa.complete(ib);
-        let sock_b = pb.complete(ia);
-
+        let (sock_a, sock_b) = connect_sockets_over(&a, &b, cfg, None);
         (
             ThreadStream::start(net.clone(), a, sock_a),
             ThreadStream::start(net, b, sock_b),
@@ -213,24 +247,7 @@ impl ThreadStream {
                         sock.take_events()
                     };
                     if !events.is_empty() {
-                        let mut buf = shared.events.lock();
-                        for ev in events {
-                            match ev {
-                                ExsEvent::SendComplete { id, len } => {
-                                    buf.sends_done.insert(id, len);
-                                }
-                                ExsEvent::RecvComplete { id, len } => {
-                                    buf.recvs_done.insert(id, len);
-                                }
-                                ExsEvent::PeerClosed => {
-                                    buf.peer_closed = true;
-                                }
-                                ExsEvent::ConnectionError => {
-                                    buf.broken = true;
-                                }
-                            }
-                        }
-                        drop(buf);
+                        shared.events.lock().absorb(events);
                         shared.cv.notify_all();
                     }
                 }
@@ -285,24 +302,7 @@ impl ThreadStream {
         if events.is_empty() {
             return;
         }
-        let mut buf = self.shared.events.lock();
-        for ev in events {
-            match ev {
-                ExsEvent::SendComplete { id, len } => {
-                    buf.sends_done.insert(id, len);
-                }
-                ExsEvent::RecvComplete { id, len } => {
-                    buf.recvs_done.insert(id, len);
-                }
-                ExsEvent::PeerClosed => {
-                    buf.peer_closed = true;
-                }
-                ExsEvent::ConnectionError => {
-                    buf.broken = true;
-                }
-            }
-        }
-        drop(buf);
+        self.shared.events.lock().absorb(events);
         self.shared.cv.notify_all();
     }
 
@@ -394,6 +394,254 @@ impl ThreadStream {
 }
 
 impl Drop for ThreadStream {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        if let Some(h) = self.service.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+struct ReactorShared {
+    reactor: Mutex<Reactor>,
+    /// Per-connection completion buffers, keyed by `ConnId.0`.
+    events: Mutex<HashMap<u32, EventBuf>>,
+    cv: Condvar,
+    stop: AtomicBool,
+}
+
+/// A [`Reactor`] hosted on one node of the real-thread fabric.
+///
+/// Where each [`ThreadStream`] endpoint burns a service thread, a
+/// `ThreadReactor` runs **one** service thread for every accepted
+/// connection: the thread parks on the node's completion signal
+/// ([`ThreadNode::wait_any`] — the completion-channel analogue), and
+/// each wake performs one bounded [`Reactor::poll`] over the shared
+/// CQs. Application threads post sends/receives on any accepted
+/// connection and block on per-connection completions.
+pub struct ThreadReactor {
+    net: Arc<ThreadNet>,
+    node: Arc<ThreadNode>,
+    send_cq: CqId,
+    recv_cq: CqId,
+    shared: Arc<ReactorShared>,
+    next_id: AtomicU64,
+    service: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadReactor {
+    /// Creates the reactor on `node`, with shared CQs sized for
+    /// `max_conns` connections under `cfg`-shaped sockets.
+    pub fn new(
+        net: Arc<ThreadNet>,
+        node: Arc<ThreadNode>,
+        cfg: ReactorConfig,
+        exs_cfg: &ExsConfig,
+        max_conns: usize,
+    ) -> ThreadReactor {
+        let per_conn = exs_cfg.sq_depth * 2 + exs_cfg.credits as usize * 2;
+        let cq_depth = per_conn * max_conns.max(1);
+        let (send_cq, recv_cq) = node.with_hca(|h| (h.create_cq(cq_depth), h.create_cq(cq_depth)));
+        let shared = Arc::new(ReactorShared {
+            reactor: Mutex::new(Reactor::new(send_cq, recv_cq, cfg)),
+            events: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let service = {
+            let shared = shared.clone();
+            let net = net.clone();
+            let node = node.clone();
+            std::thread::spawn(move || {
+                let mut seen = node.generation();
+                let mut backlog = false;
+                while !shared.stop.load(Ordering::Acquire) {
+                    if !backlog {
+                        // Park on the completion signal only when the
+                        // last poll fully drained: bounded polls are
+                        // edge-free, so leftover work must be serviced
+                        // without waiting for a new completion.
+                        seen = node.wait_any(seen, Duration::from_millis(50));
+                    }
+                    let mut harvested: Vec<(u32, Vec<ExsEvent>)> = Vec::new();
+                    {
+                        let mut reactor = shared.reactor.lock();
+                        let mut port = ThreadPort::new(&net, &node);
+                        let ready = reactor.poll(&mut port);
+                        backlog = reactor.has_backlog();
+                        for (conn, readiness) in ready {
+                            if readiness.readable || readiness.closed || readiness.error {
+                                let events = reactor.take_events(conn);
+                                let closed = reactor.conn(conn).peer_closed();
+                                let broken = reactor.conn(conn).is_broken();
+                                harvested.push((conn.0, events));
+                                // Closed/error are level-triggered states
+                                // with no event after the first take;
+                                // mirror them into the buffer directly.
+                                if closed || broken {
+                                    let last = harvested.last_mut().expect("just pushed");
+                                    if closed {
+                                        last.1.push(ExsEvent::PeerClosed);
+                                    }
+                                    if broken {
+                                        last.1.push(ExsEvent::ConnectionError);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if !harvested.is_empty() {
+                        let mut bufs = shared.events.lock();
+                        for (conn, events) in harvested {
+                            bufs.entry(conn).or_default().absorb(events);
+                        }
+                        drop(bufs);
+                        shared.cv.notify_all();
+                    }
+                }
+            })
+        };
+        ThreadReactor {
+            net,
+            node,
+            send_cq,
+            recv_cq,
+            shared,
+            next_id: AtomicU64::new(1),
+            service: Some(service),
+        }
+    }
+
+    /// The reactor's node.
+    pub fn node(&self) -> &Arc<ThreadNode> {
+        &self.node
+    }
+
+    /// Accepts a new connection from `peer`: builds a QP pair whose
+    /// server side completes onto the shared CQs, registers the server
+    /// socket with the reactor, and returns the blocking client
+    /// endpoint (which runs its own service thread, as every
+    /// [`ThreadStream`] does).
+    pub fn accept(&self, peer: &Arc<ThreadNode>, cfg: &ExsConfig) -> (ConnId, ThreadStream) {
+        let (client_sock, server_sock) =
+            connect_sockets_over(peer, &self.node, cfg, Some((self.send_cq, self.recv_cq)));
+        let conn = self.shared.reactor.lock().accept(server_sock);
+        let client = ThreadStream::start(self.net.clone(), peer.clone(), client_sock);
+        (conn, client)
+    }
+
+    /// Registers I/O memory on the reactor's node.
+    pub fn register(&self, len: usize, access: Access) -> MrInfo {
+        self.node.with_hca(|h| h.register_mr(len, access))
+    }
+
+    /// Posts an asynchronous receive on an accepted connection.
+    pub fn post_recv(
+        &self,
+        conn: ConnId,
+        mr: &MrInfo,
+        offset: u64,
+        len: u32,
+        waitall: bool,
+    ) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let events = {
+            let mut reactor = self.shared.reactor.lock();
+            let mut port = ThreadPort::new(&self.net, &self.node);
+            let sock = reactor.conn_mut(conn);
+            sock.exs_recv(&mut port, mr, offset, len, waitall, id);
+            sock.take_events()
+        };
+        self.publish(conn, events);
+        id
+    }
+
+    /// Posts an asynchronous send on an accepted connection.
+    pub fn post_send(&self, conn: ConnId, mr: &MrInfo, offset: u64, len: u64) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let events = {
+            let mut reactor = self.shared.reactor.lock();
+            let mut port = ThreadPort::new(&self.net, &self.node);
+            let sock = reactor.conn_mut(conn);
+            sock.exs_send(&mut port, mr, offset, len, id);
+            sock.take_events()
+        };
+        self.publish(conn, events);
+        id
+    }
+
+    fn publish(&self, conn: ConnId, events: Vec<ExsEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        self.shared
+            .events
+            .lock()
+            .entry(conn.0)
+            .or_default()
+            .absorb(events);
+        self.shared.cv.notify_all();
+    }
+
+    /// Blocks until receive `id` on `conn` completes.
+    pub fn wait_recv(&self, conn: ConnId, id: u64, timeout: Duration) -> Option<u32> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut bufs = self.shared.events.lock();
+        loop {
+            if let Some(len) = bufs.entry(conn.0).or_default().recvs_done.remove(&id) {
+                return Some(len);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.shared
+                .cv
+                .wait_for(&mut bufs, deadline.saturating_duration_since(now));
+        }
+    }
+
+    /// Blocks until send `id` on `conn` completes.
+    pub fn wait_send(&self, conn: ConnId, id: u64, timeout: Duration) -> Option<u64> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut bufs = self.shared.events.lock();
+        loop {
+            if let Some(len) = bufs.entry(conn.0).or_default().sends_done.remove(&id) {
+                return Some(len);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.shared
+                .cv
+                .wait_for(&mut bufs, deadline.saturating_duration_since(now));
+        }
+    }
+
+    /// True once `conn`'s peer closed and its stream fully drained.
+    pub fn peer_closed(&self, conn: ConnId) -> bool {
+        self.shared.reactor.lock().conn(conn).peer_closed()
+    }
+
+    /// Protocol counters of one accepted connection.
+    pub fn conn_stats(&self, conn: ConnId) -> ConnStats {
+        self.shared.reactor.lock().conn(conn).stats().clone()
+    }
+
+    /// Sum of all accepted connections' protocol counters.
+    pub fn aggregate_stats(&self) -> ConnStats {
+        self.shared.reactor.lock().aggregate_conn_stats()
+    }
+
+    /// Event-loop statistics snapshot.
+    pub fn reactor_stats(&self) -> crate::stats::ReactorStats {
+        self.shared.reactor.lock().stats().clone()
+    }
+}
+
+impl Drop for ThreadReactor {
     fn drop(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
         self.shared.cv.notify_all();

@@ -33,6 +33,24 @@ pub fn connect_pair(
     caps: QpCaps,
     cq_depth: usize,
 ) -> Result<(ConnHalf, ConnHalf)> {
+    connect_pair_on_cqs(net, a, b, caps, cq_depth, None)
+}
+
+/// Like [`connect_pair`], but when `b_cqs` is given, `b`'s QP completes
+/// onto those existing `(send_cq, recv_cq)` instead of fresh ones.
+///
+/// This is the server shape of an epoll-style event loop: every accepted
+/// QP shares one send and one receive CQ, so a single poller drains all
+/// completions in batches and dispatches them by the CQE's `qpn` — one
+/// CQ poll per wake-up instead of one per connection.
+pub fn connect_pair_on_cqs(
+    net: &mut SimNet,
+    a: NodeId,
+    b: NodeId,
+    caps: QpCaps,
+    cq_depth: usize,
+    b_cqs: Option<(CqId, CqId)>,
+) -> Result<(ConnHalf, ConnHalf)> {
     let (a_send, a_recv, a_qp) = net.with_api(a, |api| {
         let send_cq = api.create_cq(cq_depth);
         let recv_cq = api.create_cq(cq_depth);
@@ -40,8 +58,10 @@ pub fn connect_pair(
         Ok::<_, crate::types::VerbsError>((send_cq, recv_cq, qpn))
     })?;
     let (b_send, b_recv, b_qp) = net.with_api(b, |api| {
-        let send_cq = api.create_cq(cq_depth);
-        let recv_cq = api.create_cq(cq_depth);
+        let (send_cq, recv_cq) = match b_cqs {
+            Some(cqs) => cqs,
+            None => (api.create_cq(cq_depth), api.create_cq(cq_depth)),
+        };
         let qpn = api.create_qp(send_cq, recv_cq, caps)?;
         Ok::<_, crate::types::VerbsError>((send_cq, recv_cq, qpn))
     })?;

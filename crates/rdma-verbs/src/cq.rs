@@ -24,6 +24,8 @@ pub struct CompletionQueue {
     overflowed: bool,
     total_pushed: u64,
     total_polled: u64,
+    nonempty_polls: u64,
+    max_batch: u64,
 }
 
 impl CompletionQueue {
@@ -37,6 +39,8 @@ impl CompletionQueue {
             overflowed: false,
             total_pushed: 0,
             total_polled: 0,
+            nonempty_polls: 0,
+            max_batch: 0,
         }
     }
 
@@ -72,6 +76,10 @@ impl CompletionQueue {
             out.push(self.entries.pop_front().expect("len checked"));
         }
         self.total_polled += n as u64;
+        if n > 0 {
+            self.nonempty_polls += 1;
+            self.max_batch = self.max_batch.max(n as u64);
+        }
         n
     }
 
@@ -117,6 +125,18 @@ impl CompletionQueue {
     /// Completions polled over the queue's lifetime.
     pub fn total_polled(&self) -> u64 {
         self.total_polled
+    }
+
+    /// Poll calls that returned at least one completion. Together with
+    /// [`CompletionQueue::total_polled`] this gives the mean drain batch
+    /// — the amortization a shared CQ buys a multi-connection poller.
+    pub fn nonempty_polls(&self) -> u64 {
+        self.nonempty_polls
+    }
+
+    /// Largest batch a single poll call drained.
+    pub fn max_batch(&self) -> u64 {
+        self.max_batch
     }
 }
 
@@ -167,6 +187,21 @@ mod tests {
         cq.push(cqe(1));
         assert!(cq.arm(), "arm with pending completions reports immediately");
         assert!(!cq.is_armed());
+    }
+
+    #[test]
+    fn batch_stats_track_drains() {
+        let mut cq = CompletionQueue::new(CqId(1), 16);
+        let mut out = Vec::new();
+        assert_eq!(cq.poll(8, &mut out), 0);
+        assert_eq!(cq.nonempty_polls(), 0);
+        for i in 0..5 {
+            cq.push(cqe(i));
+        }
+        cq.poll(3, &mut out);
+        cq.poll(usize::MAX, &mut out);
+        assert_eq!(cq.nonempty_polls(), 2);
+        assert_eq!(cq.max_batch(), 3);
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! Echo server: one reactor serving 100 concurrent EXS connections.
+//!
+//! The "serving many connections" pattern: every accepted stream
+//! completes onto two shared CQs, a single [`exs::Reactor`] drains them
+//! in batches and reports level-triggered readiness, and the
+//! application services only the connections that have work. Each of
+//! the 100 clients plays ping-pong (send a block, wait for its echo)
+//! for a few rounds and then closes; the server echoes until it sees
+//! EOF, then half-closes its side.
+//!
+//! Run with: `cargo run --release --example echo_server`
+
+use rdma_stream::exs::{ConnId, ExsConfig, ExsEvent, Reactor, ReactorConfig, StreamSocket};
+use rdma_stream::simnet::SimTime;
+use rdma_stream::verbs::{profiles, Access, MrInfo, NodeApi, NodeApp, NodeId, SimNet};
+
+const CLIENTS: usize = 100;
+const ROUNDS: usize = 3;
+const MSG: usize = 4096;
+
+fn pattern(conn: usize, round: usize, i: usize) -> u8 {
+    (i.wrapping_mul(31) ^ conn.wrapping_mul(7) ^ round.wrapping_mul(131)) as u8
+}
+
+struct EchoServer {
+    reactor: Reactor,
+    recv_mrs: Vec<MrInfo>,
+    send_mrs: Vec<MrInfo>,
+    closed: Vec<bool>,
+    shutdown_sent: Vec<bool>,
+    echoed_bytes: u64,
+    next_id: u64,
+    scratch: Vec<u8>,
+}
+
+impl EchoServer {
+    fn post_recv(&mut self, api: &mut NodeApi<'_>, conn: ConnId) {
+        let mr = self.recv_mrs[conn.0 as usize];
+        let id = self.next_id;
+        self.next_id += 1;
+        self.reactor
+            .conn_mut(conn)
+            .exs_recv(api, &mr, 0, MSG as u32, false, id);
+    }
+
+    fn handle_conn(&mut self, api: &mut NodeApi<'_>, conn: ConnId) -> bool {
+        let idx = conn.0 as usize;
+        let events = self.reactor.take_events(conn);
+        let progressed = !events.is_empty();
+        for ev in events {
+            match ev {
+                ExsEvent::RecvComplete { len, .. } if len > 0 => {
+                    // Echo the block back: read it out of the receive
+                    // region, stage it in the send region (stable until
+                    // SendComplete; ping-pong keeps one echo in flight).
+                    let rmr = self.recv_mrs[idx];
+                    let smr = self.send_mrs[idx];
+                    self.scratch.resize(len as usize, 0);
+                    api.read_mr(rmr.key, rmr.addr, &mut self.scratch).unwrap();
+                    api.write_mr(smr.key, smr.addr, &self.scratch).unwrap();
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.reactor
+                        .conn_mut(conn)
+                        .exs_send(api, &smr, 0, len as u64, id);
+                    self.echoed_bytes += len as u64;
+                    self.post_recv(api, conn);
+                }
+                ExsEvent::RecvComplete { .. } => {} // zero-length: EOF path
+                ExsEvent::PeerClosed => {
+                    self.closed[idx] = true;
+                    if !self.shutdown_sent[idx] {
+                        // Everything the client sent is echoed or queued;
+                        // close our half too.
+                        self.reactor.conn_mut(conn).exs_shutdown(api);
+                        self.shutdown_sent[idx] = true;
+                    }
+                }
+                ExsEvent::ConnectionError => panic!("echo conn {idx} failed"),
+                ExsEvent::SendComplete { .. } => {}
+            }
+        }
+        progressed
+    }
+}
+
+impl NodeApp for EchoServer {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        for conn in self.reactor.conn_ids() {
+            self.post_recv(api, conn);
+        }
+    }
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        loop {
+            let ready = self.reactor.poll(api);
+            let mut progressed = false;
+            for (conn, r) in ready {
+                if r.readable || r.closed || r.error {
+                    progressed |= self.handle_conn(api, conn);
+                }
+            }
+            if !progressed && !self.reactor.has_backlog() {
+                break;
+            }
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.closed.iter().all(|&c| c)
+            && self
+                .reactor
+                .conn_ids()
+                .into_iter()
+                .all(|c| self.reactor.conn(c).sends_drained())
+    }
+}
+
+struct EchoClient {
+    sock: StreamSocket,
+    idx: usize,
+    mr: MrInfo,
+    echo_mr: MrInfo,
+    round: usize,
+    eof: bool,
+    shutdown: bool,
+    next_id: u64,
+}
+
+impl EchoClient {
+    fn send_round(&mut self, api: &mut NodeApi<'_>) {
+        let data: Vec<u8> = (0..MSG).map(|i| pattern(self.idx, self.round, i)).collect();
+        api.write_mr(self.mr.key, self.mr.addr, &data).unwrap();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sock.exs_send(api, &self.mr, 0, MSG as u64, id);
+        let id = self.next_id;
+        self.next_id += 1;
+        // MSG_WAITALL: the echo may arrive in pieces; complete when full.
+        self.sock
+            .exs_recv(api, &self.echo_mr, 0, MSG as u32, true, id);
+    }
+}
+
+impl NodeApp for EchoClient {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        self.send_round(api);
+    }
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        self.sock.handle_wake(api);
+        for ev in self.sock.take_events() {
+            match ev {
+                ExsEvent::RecvComplete { len, .. } if len > 0 => {
+                    assert_eq!(len as usize, MSG, "client {} short echo", self.idx);
+                    let mut buf = vec![0u8; MSG];
+                    api.read_mr(self.echo_mr.key, self.echo_mr.addr, &mut buf)
+                        .unwrap();
+                    for (i, &b) in buf.iter().enumerate() {
+                        assert_eq!(
+                            b,
+                            pattern(self.idx, self.round, i),
+                            "client {} echo corrupted at {i}",
+                            self.idx
+                        );
+                    }
+                    self.round += 1;
+                    if self.round < ROUNDS {
+                        self.send_round(api);
+                    } else if !self.shutdown {
+                        self.sock.exs_shutdown(api);
+                        self.shutdown = true;
+                    }
+                }
+                ExsEvent::PeerClosed => self.eof = true,
+                ExsEvent::ConnectionError => panic!("client {} conn failed", self.idx),
+                _ => {}
+            }
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.shutdown && self.eof
+    }
+}
+
+fn main() {
+    let profile = profiles::fdr_infiniband();
+    // Per-connection budgets sized for a 100-way server.
+    let cfg = ExsConfig {
+        ring_capacity: 64 << 10,
+        credits: 8,
+        sq_depth: 16,
+        ..ExsConfig::default()
+    };
+
+    let mut net = SimNet::new();
+    net.set_host_seed(2014);
+    let server_node = net.add_node(profile.host.clone(), profile.hca.clone());
+    let client_nodes: Vec<NodeId> = (0..CLIENTS)
+        .map(|_| net.add_node(profile.host.clone(), profile.hca.clone()))
+        .collect();
+    for (i, &c) in client_nodes.iter().enumerate() {
+        net.connect_nodes(c, server_node, profile.link.clone(), i as u64);
+    }
+
+    // Two shared CQs for all 100 connections, one reactor over them.
+    let per_conn = cfg.sq_depth * 2 + cfg.credits as usize * 2;
+    let (send_cq, recv_cq) = net.with_api(server_node, |api| {
+        (
+            api.create_cq(per_conn * CLIENTS),
+            api.create_cq(per_conn * CLIENTS),
+        )
+    });
+    let mut reactor = Reactor::new(send_cq, recv_cq, ReactorConfig::default());
+
+    let mut clients = Vec::with_capacity(CLIENTS);
+    let mut recv_mrs = Vec::new();
+    let mut send_mrs = Vec::new();
+    for (idx, &cnode) in client_nodes.iter().enumerate() {
+        let (csock, ssock) =
+            StreamSocket::pair_shared(&mut net, cnode, server_node, send_cq, recv_cq, &cfg);
+        reactor.accept(ssock);
+        let (mr, echo_mr) = net.with_api(cnode, |api| {
+            (
+                api.register_mr(MSG, Access::NONE),
+                api.register_mr(MSG, Access::local_remote_write()),
+            )
+        });
+        clients.push(EchoClient {
+            sock: csock,
+            idx,
+            mr,
+            echo_mr,
+            round: 0,
+            eof: false,
+            shutdown: false,
+            next_id: 0,
+        });
+        net.with_api(server_node, |api| {
+            recv_mrs.push(api.register_mr(MSG, Access::local_remote_write()));
+            send_mrs.push(api.register_mr(MSG, Access::NONE));
+        });
+    }
+
+    let mut server = EchoServer {
+        reactor,
+        recv_mrs,
+        send_mrs,
+        closed: vec![false; CLIENTS],
+        shutdown_sent: vec![false; CLIENTS],
+        echoed_bytes: 0,
+        next_id: 0,
+        scratch: Vec::new(),
+    };
+
+    let mut apps: Vec<&mut dyn NodeApp> = Vec::with_capacity(1 + CLIENTS);
+    apps.push(&mut server);
+    for c in clients.iter_mut() {
+        apps.push(c);
+    }
+    let outcome = net.run(&mut apps, SimTime::from_secs(60));
+    assert!(outcome.completed, "echo workload stalled: {outcome:?}");
+
+    let rs = server.reactor.stats();
+    let agg = server.reactor.aggregate_conn_stats();
+    println!("echo server: {CLIENTS} connections x {ROUNDS} rounds x {MSG} B");
+    println!(
+        "  echoed {} B in {:.3} ms of virtual time ({} sim events)",
+        server.echoed_bytes,
+        outcome.end.as_secs_f64() * 1e3,
+        outcome.events
+    );
+    println!(
+        "  reactor: {} polls, {} completions in {} batches (mean {:.1}, max {}), {} deferrals",
+        rs.polls,
+        rs.cqes_dispatched,
+        rs.cq_batches,
+        rs.mean_batch(),
+        rs.max_cq_batch,
+        rs.deferrals
+    );
+    println!(
+        "  streams: direct ratio {:.3}, {} B received, {} B sent back",
+        agg.direct_ratio(),
+        agg.bytes_received,
+        agg.bytes_sent
+    );
+    assert_eq!(server.echoed_bytes, (CLIENTS * ROUNDS * MSG) as u64);
+}

@@ -1,0 +1,170 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! This build environment has no registry access, so the workspace
+//! vendors the subset it uses: `Criterion::benchmark_group`,
+//! `throughput`/`sample_size`/`bench_function`/`finish`, `Bencher::iter`
+//! and `iter_batched`, and the `criterion_group!`/`criterion_main!`
+//! macros. Each benchmark runs a fixed number of timed samples and
+//! prints mean wall-clock time (plus element throughput when declared);
+//! there is no warm-up analysis, outlier statistics, or HTML report.
+//! Set `EXS_BENCH_QUICK=1` to cut sample counts for CI smoke runs.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            throughput: None,
+            sample_size: default_sample_size(),
+        }
+    }
+}
+
+fn quick() -> bool {
+    std::env::var("EXS_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn default_sample_size() -> usize {
+    if quick() {
+        3
+    } else {
+        20
+    }
+}
+
+/// Declared work per iteration, used to report rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup; the shim runs one setup per
+/// routine call regardless, so the variants only mirror the API.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = if quick() { n.min(3) } else { n };
+        self
+    }
+
+    /// Times `f` and prints the mean per-sample wall-clock duration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        // One untimed pass to warm caches and page in code.
+        f(&mut b);
+        b.elapsed = Duration::ZERO;
+        b.iters = 0;
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let iters = b.iters.max(1);
+        let per_iter = b.elapsed / iters as u32;
+        match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                let rate = n as f64 / per_iter.as_secs_f64();
+                println!("  {name}: {per_iter:?}/iter ({rate:.0} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                let rate = n as f64 / per_iter.as_secs_f64() / 1e6;
+                println!("  {name}: {per_iter:?}/iter ({rate:.1} MB/s)");
+            }
+            _ => println!("  {name}: {per_iter:?}/iter"),
+        }
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Times `routine` on inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
