@@ -17,7 +17,8 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use exs::{
-    ConnId, ConnStats, ExsConfig, ExsEvent, Reactor, ReactorConfig, ReactorStats, StreamSocket,
+    ConnId, ConnStats, ExsConfig, ExsEvent, MemPool, MrLease, PoolStats, Reactor, ReactorConfig,
+    ReactorStats, StreamSocket,
 };
 use rdma_verbs::{Access, HwProfile, MrInfo, NodeApi, NodeApp, NodeId, SimNet};
 use simnet::{SimDuration, SimTime};
@@ -91,6 +92,13 @@ pub struct FanInSpec {
     pub recv_len: u32,
     /// Payload verification level.
     pub verify: VerifyLevel,
+    /// Source buffers through registered-memory pools: clients lease a
+    /// send buffer per message from their node's pin-down cache (first
+    /// uses register, later ones hit), and the server's receive buffers
+    /// are pool leases. Off: every buffer is registered up front and
+    /// held for the whole run. Delivered bytes are identical either
+    /// way; only registration traffic and CPU cost differ.
+    pub pooled: bool,
     /// Workload seed (host jitter, link seeds, payload pattern).
     pub seed: u64,
     /// Abort threshold for the virtual clock.
@@ -111,6 +119,7 @@ impl FanInSpec {
             outstanding_sends: 2,
             recv_len: 0,
             verify: VerifyLevel::None,
+            pooled: false,
             seed: 1,
             time_limit: SimDuration::from_secs(600),
         }
@@ -143,6 +152,9 @@ pub struct FanInReport {
     pub aggregate: ConnStats,
     /// The server reactor's event-loop counters.
     pub reactor: ReactorStats,
+    /// Merged memory-pool counters (server + every client node) for a
+    /// pooled run; `None` when the run registered buffers directly.
+    pub pool: Option<PoolStats>,
     /// Simulator events processed.
     pub events: u64,
 }
@@ -179,6 +191,9 @@ impl FanInReport {
         ));
         out.push_str(&format!("\"aggregate\":{},", self.aggregate.to_json()));
         out.push_str(&format!("\"reactor\":{},", self.reactor.to_json()));
+        if let Some(pool) = &self.pool {
+            out.push_str(&format!("\"pool\":{},", pool.to_json()));
+        }
         out.push_str("\"digests\":[");
         for (i, d) in self.digests.iter().enumerate() {
             if i > 0 {
@@ -214,9 +229,16 @@ struct ConnState {
     sock: StreamSocket,
     /// Global connection index (pattern + digest identity).
     idx: usize,
+    /// Up-front registered send slots (unpooled mode; empty when
+    /// pooled).
     slots: Vec<MrInfo>,
     free: Vec<usize>,
     slot_of: HashMap<u64, usize>,
+    /// Outstanding-send cap (slot count in unpooled mode).
+    max_outstanding: usize,
+    /// Live send leases by operation id (pooled mode); dropping one on
+    /// completion returns the buffer to the node's pin-down cache.
+    leases: HashMap<u64, MrLease>,
     sent: usize,
     acked: usize,
     pos: u64,
@@ -231,6 +253,8 @@ struct FanInClient {
     msgs: usize,
     msg_len: u64,
     verify: VerifyLevel,
+    /// This node's pin-down cache (pooled mode).
+    pool: Option<MemPool>,
     seed: u64,
     scratch: Vec<u8>,
 }
@@ -241,18 +265,32 @@ impl FanInClient {
         let msg_len = self.msg_len;
         let c = &mut self.conns[ci];
         while c.sent < msgs {
-            let Some(slot) = c.free.pop() else {
-                break;
+            let id = c.sent as u64;
+            let mr = match &self.pool {
+                Some(pool) => {
+                    if c.leases.len() >= c.max_outstanding {
+                        break;
+                    }
+                    let lease = pool.acquire(api, msg_len as usize, Access::NONE);
+                    let info = *lease.info();
+                    c.leases.insert(id, lease);
+                    info
+                }
+                None => {
+                    let Some(slot) = c.free.pop() else {
+                        break;
+                    };
+                    c.slot_of.insert(id, slot);
+                    c.slots[slot]
+                }
             };
-            let mr = c.slots[slot];
             if self.verify == VerifyLevel::Full {
                 self.scratch.clear();
                 self.scratch
                     .extend((0..msg_len).map(|i| payload_byte(self.seed, c.idx, c.pos + i)));
                 api.write_mr(mr.key, mr.addr, &self.scratch).unwrap();
             }
-            c.slot_of.insert(c.sent as u64, slot);
-            c.sock.exs_send(api, &mr, 0, msg_len, c.sent as u64);
+            c.sock.exs_send(api, &mr, 0, msg_len, id);
             c.pos += msg_len;
             c.sent += 1;
         }
@@ -276,8 +314,12 @@ impl NodeApp for FanInClient {
             for ev in c.sock.take_events() {
                 match ev {
                     ExsEvent::SendComplete { id, .. } => {
-                        let slot = c.slot_of.remove(&id).expect("slot of send id");
-                        c.free.push(slot);
+                        if let Some(slot) = c.slot_of.remove(&id) {
+                            c.free.push(slot);
+                        }
+                        // Pooled mode: the lease drops here and its
+                        // buffer returns to the cache for the next kick.
+                        c.leases.remove(&id);
                         c.acked += 1;
                     }
                     ExsEvent::ConnectionError => panic!("fan-in client conn {} failed", c.idx),
@@ -437,28 +479,40 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
     });
     let mut reactor = Reactor::new(send_cq, recv_cq, spec.reactor);
 
+    // One pool per node in pooled mode: each client node's connections
+    // share a pin-down cache, as does the server behind the reactor.
+    let server_pool = spec.pooled.then(|| MemPool::new(spec.cfg.pool.clone()));
     let mut clients: Vec<FanInClient> = (0..nclients)
         .map(|_| FanInClient {
             conns: Vec::new(),
             msgs: spec.msgs_per_conn,
             msg_len: spec.msg_len,
             verify: spec.verify,
+            pool: spec.pooled.then(|| MemPool::new(spec.cfg.pool.clone())),
             seed: spec.seed,
             scratch: Vec::new(),
         })
         .collect();
     let mut server_mrs = Vec::with_capacity(spec.conns);
+    // Server-side receive leases: held for the whole run (the reactor
+    // re-posts into the same buffer), released together at the end.
+    let mut server_leases: Vec<MrLease> = Vec::new();
     for idx in 0..spec.conns {
         let cnode = client_nodes[idx % nclients];
         let (csock, ssock) =
             StreamSocket::pair_shared(&mut net, cnode, server_node, send_cq, recv_cq, &spec.cfg);
         let conn = reactor.accept(ssock);
         assert_eq!(conn.0 as usize, idx, "accept order defines conn ids");
-        let slots = net.with_api(cnode, |api| {
-            (0..spec.outstanding_sends.max(1))
-                .map(|_| api.register_mr(spec.msg_len as usize, Access::NONE))
-                .collect::<Vec<_>>()
-        });
+        let max_outstanding = spec.outstanding_sends.max(1);
+        let slots = if spec.pooled {
+            Vec::new()
+        } else {
+            net.with_api(cnode, |api| {
+                (0..max_outstanding)
+                    .map(|_| api.register_mr(spec.msg_len as usize, Access::NONE))
+                    .collect::<Vec<_>>()
+            })
+        };
         let free = (0..slots.len()).collect();
         clients[idx % nclients].conns.push(ConnState {
             sock: csock,
@@ -466,14 +520,24 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
             slots,
             free,
             slot_of: HashMap::new(),
+            max_outstanding,
+            leases: HashMap::new(),
             sent: 0,
             acked: 0,
             pos: 0,
             shutdown: false,
         });
-        server_mrs.push(net.with_api(server_node, |api| {
-            api.register_mr(recv_len as usize, Access::local_remote_write())
-        }));
+        server_mrs.push(match &server_pool {
+            Some(pool) => net.with_api(server_node, |api| {
+                let lease = pool.acquire(api, recv_len as usize, Access::local_remote_write());
+                let info = *lease.info();
+                server_leases.push(lease);
+                info
+            }),
+            None => net.with_api(server_node, |api| {
+                api.register_mr(recv_len as usize, Access::local_remote_write())
+            }),
+        });
     }
 
     let mut server = ReactorServer {
@@ -523,6 +587,17 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
         "every stream fully delivered"
     );
 
+    let pool = server_pool.map(|sp| {
+        let mut total = sp.stats();
+        for c in &clients {
+            if let Some(cp) = &c.pool {
+                total.merge(&cp.stats());
+            }
+        }
+        total
+    });
+    drop(server_leases);
+
     FanInReport {
         conns: spec.conns,
         bytes: expected * spec.conns as u64,
@@ -531,6 +606,7 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
         digests: server.digests,
         aggregate,
         reactor: reactor_stats,
+        pool,
         events: outcome.events,
     }
 }
@@ -567,5 +643,38 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"per_conn\":["));
         assert!(json.contains("\"reactor\":{"));
+        assert!(!json.contains("\"pool\":{"), "unpooled run reports no pool");
+    }
+
+    #[test]
+    fn pooled_fan_in_delivers_identical_bytes_and_hits_the_cache() {
+        let base = FanInSpec {
+            msgs_per_conn: 4,
+            msg_len: 8 << 10,
+            verify: VerifyLevel::Full,
+            ..FanInSpec::new(profiles::fdr_infiniband(), 4)
+        };
+        let pooled_spec = FanInSpec {
+            pooled: true,
+            ..base.clone()
+        };
+        let plain = run_fan_in(&base);
+        let pooled = run_fan_in(&pooled_spec);
+        // Byte identity: pooling changes where buffers come from, never
+        // what the streams carry.
+        assert_eq!(plain.digests, pooled.digests);
+        assert_eq!(plain.bytes, pooled.bytes);
+        let pool = pooled
+            .pool
+            .clone()
+            .expect("pooled run reports pool counters");
+        // Each client's lease cycle: outstanding_sends buffers miss
+        // once, every later message hits the pin-down cache.
+        assert!(pool.hits > 0, "no cache reuse: {pool:?}");
+        assert!(
+            pool.registrations < (4 * 4) as u64 + 4,
+            "pool registered nearly per-message: {pool:?}"
+        );
+        assert!(pooled.to_json().contains("\"pool\":{"));
     }
 }

@@ -134,6 +134,12 @@ impl ExsContext {
         api.register_mr(len, access)
     }
 
+    /// Releases memory registered with
+    /// [`ExsContext::exs_mregister`] (`exs_mderegister`).
+    pub fn exs_mderegister(&mut self, api: &mut NodeApi<'_>, mr: &MrInfo) {
+        api.hca_deregister(mr.key).expect("exs_mderegister");
+    }
+
     fn install(&mut self, sock: Sock) -> ExsFd {
         let fd = ExsFd(self.next_fd);
         self.next_fd += 1;
@@ -213,6 +219,16 @@ impl ExsContext {
         self.collect(fd);
     }
 
+    /// Best-effort cancellation of a queued operation (`exs_cancel`):
+    /// succeeds only while the operation has not touched the wire.
+    /// Stream sockets only.
+    pub fn exs_cancel(&mut self, fd: ExsFd, id: u64) -> bool {
+        match self.sock_mut(fd) {
+            Sock::Stream(s) => s.exs_cancel(id),
+            Sock::SeqPacket(_) => false,
+        }
+    }
+
     /// Half-closes a stream socket's sending direction (`exs_shutdown`
     /// with SHUT_WR).
     pub fn exs_shutdown(&mut self, api: &mut NodeApi<'_>, fd: ExsFd) {
@@ -281,9 +297,18 @@ impl ExsContext {
         }
     }
 
-    /// Closes a socket descriptor.
-    pub fn exs_close(&mut self, fd: ExsFd) {
-        self.sockets.remove(&fd.0);
+    /// Closes a socket descriptor, releasing every registration the
+    /// socket owns (ring, control slots, in-flight staging regions).
+    /// ES-API `exs_close`: deregistration of socket-owned memory is the
+    /// library's job; only `exs_mregister`ed user regions remain the
+    /// application's to release.
+    pub fn exs_close(&mut self, api: &mut NodeApi<'_>, fd: ExsFd) {
+        if let Some(mut sock) = self.sockets.remove(&fd.0) {
+            match &mut sock {
+                Sock::Stream(s) => s.close(api),
+                Sock::SeqPacket(s) => s.close(api),
+            }
+        }
     }
 }
 

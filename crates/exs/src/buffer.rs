@@ -182,6 +182,47 @@ mod tests {
     }
 
     #[test]
+    fn sender_split_free_space_clamps_to_wrap_not_free() {
+        // Free space exists on both sides of the wrap point (20 bytes
+        // in front of the cursor, 30 reclaimed at the start). A want
+        // larger than the tail segment must clamp to the wrap distance
+        // — handing out min(want, free) would cross the wrap and
+        // corrupt the bytes at offset 0.
+        let mut r = SenderRing::new(100);
+        r.commit(80); // cursor at 80
+        r.release(30); // 30 freed at the start; 20 never used at the tail
+        assert_eq!(r.free(), 50);
+        let (off, len) = r.contiguous_reservation(50);
+        assert_eq!((off, len), (80, 20), "clamped to to_wrap, not free");
+        r.commit(len);
+        // After wrapping, the remaining 30 free bytes are contiguous at
+        // the start.
+        let (off, len) = r.contiguous_reservation(50);
+        assert_eq!((off, len), (0, 30));
+    }
+
+    #[test]
+    fn sender_full_ring_at_nonzero_cursor_yields_cursor_and_zero() {
+        // Fill in two steps so the cursor wraps to a non-zero position,
+        // then drain-and-refill to make the ring exactly full with the
+        // cursor mid-ring: the reservation must be (cursor, 0), not
+        // (0, 0) — callers use the offset even for len == 0 probes.
+        let mut r = SenderRing::new(100);
+        r.commit(60);
+        r.release(60);
+        r.commit(40); // cursor wrapped to 0
+        r.commit(60); // cursor at 60, ring exactly full
+        assert_eq!(r.free(), 0);
+        assert_eq!(r.contiguous_reservation(1), (60, 0));
+        // A zero want on a full ring is the same degenerate case.
+        assert_eq!(r.contiguous_reservation(0), (60, 0));
+        // Releasing even one byte re-opens exactly that byte at the
+        // cursor (free = 1, to_wrap = 40).
+        r.release(1);
+        assert_eq!(r.contiguous_reservation(8), (60, 1));
+    }
+
+    #[test]
     #[should_panic(expected = "over-commit")]
     fn sender_over_commit_panics() {
         let mut r = SenderRing::new(10);

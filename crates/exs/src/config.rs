@@ -1,5 +1,6 @@
 //! Connection configuration.
 
+use crate::mempool::MemPoolConfig;
 use crate::messages::MAX_WWI_LEN;
 
 /// Which transfer policy the connection uses (paper §IV-B).
@@ -82,6 +83,10 @@ pub struct ExsConfig {
     pub max_wwi_chunk: u32,
     /// Send-queue depth for the underlying QP.
     pub sq_depth: usize,
+    /// Registered-memory pool tunables (pinned-bytes budget, minimum
+    /// slab class) for endpoints that stage user data through a
+    /// [`crate::mempool::MemPool`] on this connection's node.
+    pub pool: MemPoolConfig,
 }
 
 impl Default for ExsConfig {
@@ -95,6 +100,7 @@ impl Default for ExsConfig {
             credit_return_threshold: 0,
             max_wwi_chunk: MAX_WWI_LEN,
             sq_depth: 4096,
+            pool: MemPoolConfig::default(),
         }
     }
 }

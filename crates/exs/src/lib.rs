@@ -34,6 +34,7 @@
 //! | [`stream`] | SOCK_STREAM sockets over a verbs QP |
 //! | [`seqpacket`] | SOCK_SEQPACKET message mode (§II-C) |
 //! | [`api`] | ES-API-flavoured convenience layer |
+//! | [`mempool`] | pin-down cache / slab MR pools / buffer leases |
 //! | [`reactor`] | epoll-style readiness multiplexing of many streams |
 //! | [`stats`] | Table III counters + event-loop aggregates |
 
@@ -42,6 +43,7 @@
 pub mod api;
 pub mod buffer;
 pub mod config;
+pub mod mempool;
 pub mod messages;
 pub mod phase;
 pub mod port;
@@ -56,12 +58,13 @@ pub mod threaded;
 
 pub use api::{Event, ExsContext, ExsFd, MsgFlags, QueuedEvent, SockType};
 pub use config::{ConfigError, ExsConfig, ProtocolMode, WwiMode};
+pub use mempool::{MemPool, MemPoolConfig, MrLease};
 pub use messages::{Advert, Ctrl, CtrlMsg, TransferKind};
 pub use phase::Phase;
 pub use port::VerbsPort;
 pub use reactor::{ConnId, Reactor, ReactorConfig, Readiness};
 pub use seq::Seq;
 pub use seqpacket::{SeqPacketEvent, SeqPacketSocket};
-pub use stats::{ConnStats, ReactorStats};
+pub use stats::{ConnStats, PoolStats, ReactorStats};
 pub use stream::{ExsEvent, StreamSocket};
 pub use threaded::{ThreadPort, ThreadReactor, ThreadStream};

@@ -41,6 +41,22 @@ pub trait VerbsPort {
     fn register_mr(&mut self, len: usize, access: Access) -> MrInfo;
     /// Deregisters a memory region.
     fn deregister_mr(&mut self, key: MrKey) -> Result<()>;
+    /// Registers a memory region, charging the host's pin-down cost
+    /// where the backend models one. The mempool acquire path uses
+    /// this so registration churn is visible in virtual time; backends
+    /// without a CPU model fall back to plain registration.
+    fn register_mr_charged(&mut self, len: usize, access: Access) -> MrInfo {
+        self.register_mr(len, access)
+    }
+    /// Deregisters a memory region, charging the host's unpin cost
+    /// where the backend models one.
+    fn deregister_mr_charged(&mut self, key: MrKey) -> Result<()> {
+        self.deregister_mr(key)
+    }
+    /// Writes application data into registered memory (lease fills;
+    /// uncharged — the fill is part of producing the data, not of the
+    /// transport).
+    fn write_mr(&mut self, key: MrKey, addr: u64, data: &[u8]) -> Result<()>;
 }
 
 impl VerbsPort for NodeApi<'_> {
@@ -89,5 +105,17 @@ impl VerbsPort for NodeApi<'_> {
 
     fn deregister_mr(&mut self, key: MrKey) -> Result<()> {
         self.hca_deregister(key)
+    }
+
+    fn register_mr_charged(&mut self, len: usize, access: Access) -> MrInfo {
+        NodeApi::register_mr_charged(self, len, access)
+    }
+
+    fn deregister_mr_charged(&mut self, key: MrKey) -> Result<()> {
+        NodeApi::deregister_mr_charged(self, key)
+    }
+
+    fn write_mr(&mut self, key: MrKey, addr: u64, data: &[u8]) -> Result<()> {
+        NodeApi::write_mr(self, key, addr, data)
     }
 }

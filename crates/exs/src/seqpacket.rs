@@ -96,6 +96,8 @@ pub struct SeqPacketSocket {
     pending_ctrl: VecDeque<Ctrl>,
     events: Vec<SeqPacketEvent>,
     stats: ConnStats,
+    /// Registrations already released; the socket is closed.
+    mrs_released: bool,
 }
 
 impl SeqPacketSocket {
@@ -168,6 +170,24 @@ impl SeqPacketSocket {
     /// Queued ADVERTs from the peer (receive buffers ready for us).
     pub fn adverts_available(&self) -> usize {
         self.adverts.len()
+    }
+
+    /// Releases the socket's control-slot registration — full-socket
+    /// close (`exs_close`); idempotent. Message mode registers no ring
+    /// and no staging, so the control slots are its only registration.
+    pub fn close(&mut self, api: &mut impl VerbsPort) {
+        if self.mrs_released {
+            return;
+        }
+        self.mrs_released = true;
+        api.deregister_mr(self.ctrl_mr.key)
+            .expect("free control slots at close");
+    }
+
+    /// True once [`SeqPacketSocket::close`] has released the socket's
+    /// registrations.
+    pub fn is_closed(&self) -> bool {
+        self.mrs_released
     }
 
     /// Asynchronous message send: matches the next peer ADVERT (FIFO);
@@ -426,6 +446,7 @@ impl PreparedSeqSocket {
             pending_ctrl: VecDeque::new(),
             events: Vec::new(),
             stats: ConnStats::default(),
+            mrs_released: false,
         }
     }
 }

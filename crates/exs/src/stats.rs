@@ -194,9 +194,109 @@ impl ReactorStats {
     }
 }
 
+/// Counters for one [`crate::mempool::MemPool`]: the pin-down cache's
+/// effectiveness (hit rate), its churn (registrations, evictions) and
+/// its current footprint (pinned/leased/free bytes).
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// Acquires satisfied from the free lists (no verbs call).
+    pub hits: u64,
+    /// Acquires that had to register a fresh region.
+    pub misses: u64,
+    /// Idle regions deregistered to get back under the pinned budget.
+    pub evictions: u64,
+    /// Total `register_mr` calls the pool issued.
+    pub registrations: u64,
+    /// Total `deregister_mr` calls the pool issued (evictions + trims).
+    pub deregistrations: u64,
+    /// Bytes currently registered through the pool (leased + free).
+    pub pinned_bytes: u64,
+    /// High-water mark of `pinned_bytes`.
+    pub pinned_peak: u64,
+    /// Bytes currently handed out in live leases.
+    pub leased_bytes: u64,
+    /// Bytes sitting idle in the free lists.
+    pub free_bytes: u64,
+}
+
+impl PoolStats {
+    /// Fraction of acquires served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Adds another pool's counters into this one (per-node pools
+    /// aggregated for a whole run). Footprint gauges sum; the peak is
+    /// the sum of peaks (an upper bound, exact when pools peak
+    /// together).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.registrations += other.registrations;
+        self.deregistrations += other.deregistrations;
+        self.pinned_bytes += other.pinned_bytes;
+        self.pinned_peak += other.pinned_peak;
+        self.leased_bytes += other.leased_bytes;
+        self.free_bytes += other.free_bytes;
+    }
+
+    /// Serializes the counters as a JSON object (dependency-free, like
+    /// [`ConnStats::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"hits\":{},\"misses\":{},\"evictions\":{},",
+                "\"registrations\":{},\"deregistrations\":{},",
+                "\"pinned_bytes\":{},\"pinned_peak\":{},",
+                "\"leased_bytes\":{},\"free_bytes\":{},",
+                "\"hit_rate\":{:.6}}}"
+            ),
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.registrations,
+            self.deregistrations,
+            self.pinned_bytes,
+            self.pinned_peak,
+            self.leased_bytes,
+            self.free_bytes,
+            self.hit_rate(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pool_stats_json_and_hit_rate() {
+        let mut s = PoolStats {
+            hits: 3,
+            misses: 1,
+            pinned_bytes: 4096,
+            ..PoolStats::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        let j = s.to_json();
+        assert!(j.contains("\"hits\":3"));
+        assert!(j.contains("\"hit_rate\":0.750000"));
+        let other = PoolStats {
+            hits: 1,
+            evictions: 2,
+            ..PoolStats::default()
+        };
+        s.merge(&other);
+        assert_eq!(s.hits, 4);
+        assert_eq!(s.evictions, 2);
+        assert_eq!(PoolStats::default().hit_rate(), 0.0);
+    }
 
     #[test]
     fn json_snapshots_are_parseable_shape() {

@@ -122,6 +122,12 @@ pub struct StreamSocket {
     actions_scratch: Vec<RecvAction>,
     /// BCopy-mode staging regions, freed when the send completes.
     staging: HashMap<u64, MrKey>,
+    /// Staging regions whose send was cancelled; freed at the next
+    /// progress round (`exs_cancel` has no backend handle to free them
+    /// immediately).
+    staging_orphans: Vec<MrKey>,
+    /// Registrations already released; the socket is closed.
+    mrs_released: bool,
     /// Local half-close requested; no further sends accepted.
     send_closed: bool,
     /// FIN queued to the peer (exactly once, after all data dispatched).
@@ -405,7 +411,10 @@ impl StreamSocket {
         {
             self.pending_sends.remove(pos);
             self.inflight.remove(&id);
-            self.staging.remove(&id);
+            if let Some(key) = self.staging.remove(&id) {
+                // Defer the deregistration: no backend handle here.
+                self.staging_orphans.push(key);
+            }
             return true;
         }
         false
@@ -422,6 +431,37 @@ impl StreamSocket {
     /// True once the local sending direction is closed.
     pub fn send_closed(&self) -> bool {
         self.send_closed
+    }
+
+    /// Releases every registration the socket owns — the intermediate
+    /// ring, the control slots, and any staging regions still parked
+    /// (in-flight BCopy sends and cancelled ones awaiting cleanup).
+    /// Full-socket close (`exs_close`); idempotent. Without it the
+    /// regions stay pinned for the life of the node: registrations
+    /// have no other owner.
+    pub fn close(&mut self, api: &mut impl VerbsPort) {
+        if self.mrs_released {
+            return;
+        }
+        self.mrs_released = true;
+        for (_, key) in self.staging.drain() {
+            api.deregister_mr(key)
+                .expect("free staging region at close");
+        }
+        for key in self.staging_orphans.drain(..) {
+            api.deregister_mr(key)
+                .expect("free cancelled staging region");
+        }
+        api.deregister_mr(self.ctrl_mr.key)
+            .expect("free control slots at close");
+        api.deregister_mr(self.ring_mr.key)
+            .expect("free intermediate ring at close");
+    }
+
+    /// True once [`StreamSocket::close`] has released the socket's
+    /// registrations.
+    pub fn is_closed(&self) -> bool {
+        self.mrs_released
     }
 
     /// True once the peer's stream has fully ended (FIN seen and every
@@ -498,6 +538,10 @@ impl StreamSocket {
     /// dispatch CQEs themselves (the reactor) call this once per
     /// service round instead of [`StreamSocket::handle_wake`].
     pub(crate) fn progress(&mut self, api: &mut impl VerbsPort) {
+        for key in self.staging_orphans.drain(..) {
+            api.deregister_mr(key)
+                .expect("free cancelled staging region");
+        }
         if self.broken {
             return;
         }
@@ -840,6 +884,8 @@ impl PreparedSocket {
             stats: ConnStats::default(),
             actions_scratch: Vec::new(),
             staging: HashMap::new(),
+            staging_orphans: Vec::new(),
+            mrs_released: false,
             send_closed: false,
             fin_queued: false,
             peer_fin: None,

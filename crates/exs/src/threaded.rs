@@ -26,9 +26,10 @@ use rdma_verbs::threaded::{ThreadNet, ThreadNode};
 use rdma_verbs::{Access, CqId, Cqe, MrInfo, MrKey, QpCaps, QpNum, RecvWr, Result, SendWr};
 
 use crate::config::ExsConfig;
+use crate::mempool::{MemPool, MrLease};
 use crate::port::VerbsPort;
 use crate::reactor::{ConnId, Reactor, ReactorConfig};
-use crate::stats::ConnStats;
+use crate::stats::{ConnStats, PoolStats};
 use crate::stream::{ExsEvent, PreparedSocket, StreamSocket, CTRL_SLOT};
 
 /// [`VerbsPort`] implementation over a [`ThreadNet`] node.
@@ -90,6 +91,11 @@ impl VerbsPort for ThreadPort<'_> {
 
     fn deregister_mr(&mut self, key: MrKey) -> Result<()> {
         self.node.with_hca(|h| h.deregister_mr(key))
+    }
+
+    fn write_mr(&mut self, key: MrKey, addr: u64, data: &[u8]) -> Result<()> {
+        self.node
+            .with_hca(|h| h.mem_mut().app_write(key, addr, data))
     }
 }
 
@@ -205,6 +211,10 @@ pub struct ThreadStream {
     net: Arc<ThreadNet>,
     node: Arc<ThreadNode>,
     shared: Arc<Shared>,
+    /// Staging-buffer pool, shared with every other endpoint on the
+    /// same node (the reactor accept path hands all clients of one
+    /// node the same pool).
+    pool: MemPool,
     next_id: AtomicU64,
     service: Option<std::thread::JoinHandle<()>>,
 }
@@ -220,12 +230,17 @@ impl ThreadStream {
         let net = Arc::new(net);
         let (sock_a, sock_b) = connect_sockets_over(&a, &b, cfg, None);
         (
-            ThreadStream::start(net.clone(), a, sock_a),
-            ThreadStream::start(net, b, sock_b),
+            ThreadStream::start(net.clone(), a, sock_a, MemPool::new(cfg.pool.clone())),
+            ThreadStream::start(net, b, sock_b, MemPool::new(cfg.pool.clone())),
         )
     }
 
-    fn start(net: Arc<ThreadNet>, node: Arc<ThreadNode>, sock: StreamSocket) -> ThreadStream {
+    fn start(
+        net: Arc<ThreadNet>,
+        node: Arc<ThreadNode>,
+        sock: StreamSocket,
+        pool: MemPool,
+    ) -> ThreadStream {
         let shared = Arc::new(Shared {
             sock: Mutex::new(sock),
             events: Mutex::new(EventBuf::default()),
@@ -257,6 +272,7 @@ impl ThreadStream {
             net,
             node,
             shared,
+            pool,
             next_id: AtomicU64::new(1),
             service: Some(service),
         }
@@ -267,9 +283,22 @@ impl ThreadStream {
         &self.node
     }
 
-    /// Registers I/O memory on this endpoint's node.
+    /// Registers I/O memory on this endpoint's node. The caller owns
+    /// the registration; prefer [`ThreadStream::acquire`] for
+    /// pool-cached buffers that release themselves.
     pub fn register(&self, len: usize, access: Access) -> MrInfo {
         self.node.with_hca(|h| h.register_mr(len, access))
+    }
+
+    /// Leases a registered buffer from this node's pin-down cache.
+    pub fn acquire(&self, len: usize, access: Access) -> MrLease {
+        let mut port = ThreadPort::new(&self.net, &self.node);
+        self.pool.acquire(&mut port, len, access)
+    }
+
+    /// This node's staging-pool handle.
+    pub fn pool(&self) -> &MemPool {
+        &self.pool
     }
 
     /// Starts an asynchronous send from registered memory; returns the
@@ -344,30 +373,35 @@ impl ThreadStream {
         }
     }
 
-    /// Convenience: sends `data` through an internal staging buffer and
-    /// blocks until the stream has consumed it. Atomic in the stream
-    /// with respect to other concurrent `send_bytes` calls.
+    /// Convenience: sends `data` through a pool-leased staging buffer
+    /// and blocks until the stream has consumed it. Atomic in the
+    /// stream with respect to other concurrent `send_bytes` calls. The
+    /// lease returns to the node's pin-down cache on completion, so
+    /// repeated calls reuse one registration instead of registering
+    /// (and leaking) a region per call.
     pub fn send_bytes(&self, data: &[u8]) -> std::result::Result<(), &'static str> {
-        let mr = self.register(data.len().max(1), Access::NONE);
-        self.node
-            .with_hca(|h| h.mem_mut().app_write(mr.key, mr.addr, data))
-            .map_err(|_| "staging write failed")?;
-        let id = self.send(&mr, 0, data.len() as u64);
+        let lease = self.acquire(data.len().max(1), Access::NONE);
+        {
+            let mut port = ThreadPort::new(&self.net, &self.node);
+            lease
+                .write(&mut port, 0, data)
+                .map_err(|_| "staging write failed")?;
+        }
+        let id = self.send(lease.info(), 0, data.len() as u64);
         self.wait_send(id, Duration::from_secs(30))
             .map(|_| ())
             .ok_or("send timed out")
     }
 
     /// Convenience: blocks until exactly `buf.len()` bytes arrive
-    /// (MSG_WAITALL through an internal staging buffer).
+    /// (MSG_WAITALL through a pool-leased staging buffer).
     pub fn recv_exact(&self, buf: &mut [u8]) -> std::result::Result<(), &'static str> {
-        let mr = self.register(buf.len().max(1), Access::local_remote_write());
-        let id = self.recv(&mr, 0, buf.len() as u32, true);
+        let lease = self.acquire(buf.len().max(1), Access::local_remote_write());
+        let id = self.recv(lease.info(), 0, buf.len() as u32, true);
         self.wait_recv(id, Duration::from_secs(30))
             .ok_or("receive timed out")?;
-        self.node
-            .with_hca(|h| h.mem().app_read(mr.key, mr.addr, buf))
-            .map_err(|_| "staging read failed")
+        let port = ThreadPort::new(&self.net, &self.node);
+        lease.read(&port, 0, buf).map_err(|_| "staging read failed")
     }
 
     /// Half-closes the sending direction; queued data still drains.
@@ -390,6 +424,26 @@ impl ThreadStream {
     /// Protocol statistics snapshot.
     pub fn stats(&self) -> crate::stats::ConnStats {
         self.shared.sock.lock().stats().clone()
+    }
+
+    /// Closes the endpoint: stops the service thread, releases every
+    /// registration the socket owns, and trims this handle's share of
+    /// the staging pool. Idle registrations held for other endpoints on
+    /// the same node stay cached; live leases elsewhere are untouched.
+    pub fn close(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        if let Some(h) = self.service.take() {
+            let _ = h.join();
+        }
+        // Late control traffic from the peer (final ACKs, credit
+        // returns) may still be in flight; let it land while our
+        // control slots are still registered.
+        self.net.quiesce();
+        let mut sock = self.shared.sock.lock();
+        let mut port = ThreadPort::new(&self.net, &self.node);
+        sock.close(&mut port);
+        self.pool.trim(&mut port);
     }
 }
 
@@ -426,6 +480,11 @@ pub struct ThreadReactor {
     send_cq: CqId,
     recv_cq: CqId,
     shared: Arc<ReactorShared>,
+    /// Pin-down cache for server-side buffers on the reactor's node.
+    pool: MemPool,
+    /// One staging pool per client node, shared by every endpoint
+    /// [`ThreadReactor::accept`] creates on that node.
+    client_pools: Mutex<HashMap<u32, MemPool>>,
     next_id: AtomicU64,
     service: Option<std::thread::JoinHandle<()>>,
 }
@@ -508,6 +567,8 @@ impl ThreadReactor {
             send_cq,
             recv_cq,
             shared,
+            pool: MemPool::new(exs_cfg.pool.clone()),
+            client_pools: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             service: Some(service),
         }
@@ -527,13 +588,55 @@ impl ThreadReactor {
         let (client_sock, server_sock) =
             connect_sockets_over(peer, &self.node, cfg, Some((self.send_cq, self.recv_cq)));
         let conn = self.shared.reactor.lock().accept(server_sock);
-        let client = ThreadStream::start(self.net.clone(), peer.clone(), client_sock);
+        let pool = self
+            .client_pools
+            .lock()
+            .entry(peer.id().0)
+            .or_insert_with(|| MemPool::new(cfg.pool.clone()))
+            .clone();
+        let client = ThreadStream::start(self.net.clone(), peer.clone(), client_sock, pool);
         (conn, client)
     }
 
-    /// Registers I/O memory on the reactor's node.
+    /// Registers I/O memory on the reactor's node. The caller owns the
+    /// registration; prefer [`ThreadReactor::acquire`] for pool-cached
+    /// buffers that release themselves.
     pub fn register(&self, len: usize, access: Access) -> MrInfo {
         self.node.with_hca(|h| h.register_mr(len, access))
+    }
+
+    /// Leases a registered buffer from the reactor node's pin-down
+    /// cache.
+    pub fn acquire(&self, len: usize, access: Access) -> MrLease {
+        let mut port = ThreadPort::new(&self.net, &self.node);
+        self.pool.acquire(&mut port, len, access)
+    }
+
+    /// The reactor node's pool handle.
+    pub fn pool(&self) -> &MemPool {
+        &self.pool
+    }
+
+    /// Aggregated pool counters: the reactor node's pool merged with
+    /// every per-client-node pool created by accepts.
+    pub fn pool_stats(&self) -> PoolStats {
+        let mut total = self.pool.stats();
+        for pool in self.client_pools.lock().values() {
+            total.merge(&pool.stats());
+        }
+        total
+    }
+
+    /// Closes an accepted connection: detaches it from the reactor and
+    /// releases every registration the server-side socket owns.
+    pub fn close_conn(&self, conn: ConnId) {
+        let mut sock = self.shared.reactor.lock().remove(conn);
+        // Drain in-flight control traffic aimed at this connection's
+        // slots before deregistering them.
+        self.net.quiesce();
+        let mut port = ThreadPort::new(&self.net, &self.node);
+        sock.close(&mut port);
+        self.shared.events.lock().remove(&conn.0);
     }
 
     /// Posts an asynchronous receive on an accepted connection.

@@ -58,6 +58,18 @@ pub struct HostModel {
     /// (Fig. 11b); that variance comes from exactly this noise tipping
     /// the ADVERT race one way or the other.
     pub jitter_frac: f64,
+    /// Fixed cost of one `ibv_reg_mr` call: the kernel transition, page
+    /// pinning setup and HCA translation-table update. Pin-down-cache
+    /// papers (Taranov et al.; MPICH2-over-IB) measure this in the tens
+    /// of microseconds — the cost the mempool subsystem exists to avoid.
+    pub mr_register_base: SimDuration,
+    /// Incremental registration cost per 4 KiB page (get_user_pages +
+    /// translation entry per page).
+    pub mr_register_per_page: SimDuration,
+    /// Fixed cost of one `ibv_dereg_mr` call (unpin + invalidate).
+    pub mr_deregister_base: SimDuration,
+    /// Incremental deregistration cost per 4 KiB page.
+    pub mr_deregister_per_page: SimDuration,
 }
 
 impl HostModel {
@@ -76,6 +88,10 @@ impl HostModel {
             stall_max: SimDuration::ZERO,
             busy_poll: false,
             jitter_frac: 0.0,
+            mr_register_base: SimDuration::ZERO,
+            mr_register_per_page: SimDuration::ZERO,
+            mr_deregister_base: SimDuration::ZERO,
+            mr_deregister_per_page: SimDuration::ZERO,
         }
     }
 
@@ -90,6 +106,20 @@ impl HostModel {
         }
         let ns = ((bytes as u128) * 1_000_000_000).div_ceil(self.memcpy_bytes_per_sec as u128);
         self.memcpy_base + SimDuration::from_nanos(ns.min(u64::MAX as u128) as u64)
+    }
+
+    /// Time to register a memory region of `bytes` bytes: the fixed
+    /// syscall/pin setup plus a per-page pinning cost (regions are
+    /// page-granular, so even a one-byte region pins one page).
+    pub fn mr_register_time(&self, bytes: u64) -> SimDuration {
+        let pages = bytes.div_ceil(4096).max(1);
+        self.mr_register_base + self.mr_register_per_page.mul_u64(pages)
+    }
+
+    /// Time to deregister a memory region of `bytes` bytes.
+    pub fn mr_deregister_time(&self, bytes: u64) -> SimDuration {
+        let pages = bytes.div_ceil(4096).max(1);
+        self.mr_deregister_base + self.mr_deregister_per_page.mul_u64(pages)
     }
 }
 
@@ -174,6 +204,22 @@ mod tests {
         m.memcpy_base = SimDuration::from_nanos(100);
         assert_eq!(m.memcpy_time(1_000_000).as_nanos(), 1_000_100);
         assert!(m.memcpy_time(0).is_zero());
+    }
+
+    #[test]
+    fn registration_time_is_page_granular() {
+        let mut m = HostModel::free();
+        m.mr_register_base = SimDuration::from_micros(30);
+        m.mr_register_per_page = SimDuration::from_nanos(250);
+        m.mr_deregister_base = SimDuration::from_micros(15);
+        m.mr_deregister_per_page = SimDuration::from_nanos(100);
+        // One byte still pins one page.
+        assert_eq!(m.mr_register_time(1).as_nanos(), 30_000 + 250);
+        // 64 KiB = 16 pages.
+        assert_eq!(m.mr_register_time(64 << 10).as_nanos(), 30_000 + 16 * 250);
+        assert_eq!(m.mr_deregister_time(64 << 10).as_nanos(), 15_000 + 16 * 100);
+        // The free model charges nothing.
+        assert!(HostModel::free().mr_register_time(1 << 20).is_zero());
     }
 
     #[test]

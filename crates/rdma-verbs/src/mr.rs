@@ -149,6 +149,11 @@ impl MemoryTable {
         self.regions.is_empty()
     }
 
+    /// Length in bytes of a live registration, if `key` is known.
+    pub fn len_of(&self, key: MrKey) -> Option<usize> {
+        self.regions.get(&key.0).map(|r| r.data.len())
+    }
+
     fn region(&self, key: MrKey) -> Result<&MemoryRegion> {
         self.regions.get(&key.0).ok_or(VerbsError::UnknownKey(key))
     }

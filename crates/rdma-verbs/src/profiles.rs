@@ -68,6 +68,15 @@ pub fn fdr_infiniband() -> HwProfile {
             stall_max: SimDuration::from_micros(40),
             busy_poll: false,
             jitter_frac: 0.3,
+            // Memory registration on MLNX OFED of that era: ~35 µs of
+            // fixed ioctl/pin setup plus ~250 ns per pinned 4 KiB page
+            // (get_user_pages + MTT entry). Deregistration unpins at
+            // roughly half the per-page cost. These are the costs the
+            // pin-down cache amortizes away.
+            mr_register_base: SimDuration::from_micros(35),
+            mr_register_per_page: SimDuration::from_nanos(250),
+            mr_deregister_base: SimDuration::from_micros(18),
+            mr_deregister_per_page: SimDuration::from_nanos(120),
         },
     }
 }
@@ -119,6 +128,12 @@ pub fn roce_10g(one_way_delay: SimDuration) -> HwProfile {
             stall_max: SimDuration::from_micros(40),
             busy_poll: false,
             jitter_frac: 0.3,
+            // Older host and HCA: registration is noticeably slower
+            // than on the FDR testbed.
+            mr_register_base: SimDuration::from_micros(45),
+            mr_register_per_page: SimDuration::from_nanos(320),
+            mr_deregister_base: SimDuration::from_micros(22),
+            mr_deregister_per_page: SimDuration::from_nanos(150),
         },
     }
 }
@@ -223,6 +238,30 @@ mod tests {
         let p = ideal();
         assert!(p.host.memcpy_time(1 << 30).is_zero());
         assert!(p.link.tx_time(1 << 20).is_zero());
+        assert!(p.host.mr_register_time(1 << 20).is_zero());
+    }
+
+    #[test]
+    fn registration_dwarfs_per_message_costs() {
+        // The pin-down-cache premise: registering a 64 KiB buffer costs
+        // 1-2 orders of magnitude more than posting a send, so register-
+        // per-transfer workloads are dominated by registration.
+        for p in [fdr_infiniband(), roce_10g(SimDuration::from_micros(2))] {
+            let reg = p.host.mr_register_time(64 << 10).as_nanos();
+            let post = p.host.post_overhead.as_nanos();
+            assert!(
+                reg > 50 * post,
+                "{}: reg {reg} ns not >> post {post} ns",
+                p.name
+            );
+            // Dereg is cheaper than reg but still significant.
+            let dereg = p.host.mr_deregister_time(64 << 10).as_nanos();
+            assert!(
+                dereg > 10 * post && dereg < reg,
+                "{}: dereg {dereg}",
+                p.name
+            );
+        }
     }
 
     #[test]

@@ -629,6 +629,30 @@ impl NodeApi<'_> {
         self.rt.hca.deregister_mr(key)
     }
 
+    /// Registers a memory region, charging the host's pin-down cost
+    /// (`ibv_reg_mr` kernel transition + per-page pinning). The mempool
+    /// acquire path uses this so registration churn shows up in virtual
+    /// time; setup-phase registrations keep using
+    /// [`NodeApi::register_mr`].
+    pub fn register_mr_charged(&mut self, len: usize, access: Access) -> MrInfo {
+        let cost = self.rt.host.mr_register_time(len as u64);
+        self.charge(cost);
+        self.rt.hca.register_mr(len, access)
+    }
+
+    /// Deregisters a memory region, charging the host's unpin cost.
+    pub fn deregister_mr_charged(&mut self, key: MrKey) -> Result<()> {
+        let len = self.rt.hca.mem().len_of(key).unwrap_or(0);
+        let cost = self.rt.host.mr_deregister_time(len as u64);
+        self.charge(cost);
+        self.rt.hca.deregister_mr(key)
+    }
+
+    /// Number of live memory registrations on this node (leak checks).
+    pub fn mr_count(&self) -> usize {
+        self.rt.hca.mem().len()
+    }
+
     /// Creates a completion queue.
     pub fn create_cq(&mut self, depth: usize) -> CqId {
         self.rt.hca.create_cq(depth)

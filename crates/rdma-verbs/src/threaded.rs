@@ -16,7 +16,7 @@
 //! threads give real (noisy) time.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -132,6 +132,9 @@ pub struct ThreadNet {
     links: HashMap<(u32, u32), Sender<WireMessage>>,
     stop: Arc<AtomicBool>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    /// Messages handed to delivery threads but not yet applied at their
+    /// destination; [`ThreadNet::quiesce`] waits for this to reach zero.
+    in_flight: Arc<AtomicUsize>,
 }
 
 impl ThreadNet {
@@ -142,6 +145,7 @@ impl ThreadNet {
             links: HashMap::new(),
             stop: Arc::new(AtomicBool::new(false)),
             handles: Vec::new(),
+            in_flight: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -168,6 +172,7 @@ impl ThreadNet {
             let dst = dst.clone();
             let src_arc = src.clone();
             let stop = self.stop.clone();
+            let in_flight = self.in_flight.clone();
             // The back-link may not exist yet; responder transmissions
             // (RDMA READ responses) are delivered by locking the peer
             // directly, preserving FIFO because this thread is the only
@@ -175,6 +180,7 @@ impl ThreadNet {
             let handle = std::thread::spawn(move || {
                 while let Ok(msg) = rx.recv() {
                     if stop.load(Ordering::Acquire) {
+                        in_flight.fetch_sub(1, Ordering::AcqRel);
                         break;
                     }
                     if !delay.is_zero() {
@@ -182,6 +188,7 @@ impl ThreadNet {
                     }
                     let effects = dst.hca.lock().handle_wire(msg);
                     apply_effects(&dst, &src_arc, effects);
+                    in_flight.fetch_sub(1, Ordering::AcqRel);
                 }
             });
             self.handles.push(handle);
@@ -204,6 +211,7 @@ impl ThreadNet {
             .unwrap_or_else(|| panic!("no link from {:?} to {dst:?}", node.id));
         let is_read = prepared.is_read;
         let completion = prepared.completion_at_tx;
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
         tx.send(prepared.msg).expect("link thread alive");
         if !is_read {
             let mut effects = Vec::new();
@@ -213,6 +221,18 @@ impl ThreadNet {
             }
         }
         Ok(())
+    }
+
+    /// Blocks until every message handed to a delivery thread has been
+    /// applied at its destination. Only meaningful once the caller has
+    /// stopped the threads that post new sends — with active posters
+    /// the zero reading is just a momentary snapshot. Teardown paths
+    /// use this to drain in-flight control traffic (late ACKs, credit
+    /// returns) before deregistering the memory it lands in.
+    pub fn quiesce(&self) {
+        while self.in_flight.load(Ordering::Acquire) != 0 {
+            std::thread::sleep(Duration::from_micros(50));
+        }
     }
 
     /// Stops the delivery threads and joins them.

@@ -323,3 +323,38 @@ fn reactor_fan_in_is_byte_identical_across_backends() {
     assert_eq!(again.events, sim.events, "sim run is not reproducible");
     assert_eq!(again.digests, sim.digests);
 }
+
+/// The pooled buffer path (pin-down cache leases instead of up-front
+/// registrations) must be invisible in the delivered bytes: the same
+/// seeded run through pools matches the PR 2 digests of the unpooled
+/// simulator run and the real-thread run alike.
+#[test]
+fn pooled_fan_in_matches_unpooled_and_threaded_digests() {
+    const SEED: u64 = 77;
+    const CONNS: usize = 8;
+    const MSGS: usize = 3;
+    const MSG_LEN: usize = 4096;
+
+    let pooled = run_fan_in(&FanInSpec {
+        client_nodes: 2,
+        msgs_per_conn: MSGS,
+        msg_len: MSG_LEN as u64,
+        verify: VerifyLevel::Full,
+        pooled: true,
+        seed: SEED,
+        ..FanInSpec::new(profiles::fdr_infiniband(), CONNS)
+    });
+    let threaded = threaded_fan_in_digests(SEED, CONNS, MSGS, MSG_LEN);
+
+    for (idx, &thr) in threaded.iter().enumerate() {
+        let want = expected_digest(SEED, idx, (MSGS * MSG_LEN) as u64);
+        assert_eq!(pooled.digests[idx], want, "pooled sim conn {idx} delivery");
+        assert_eq!(thr, want, "threaded conn {idx} delivery");
+    }
+    let pool = pooled.pool.expect("pooled run reports pool counters");
+    assert!(
+        pool.hits > 0,
+        "send leases never hit the pin-down cache: {pool:?}"
+    );
+    assert_eq!(pool.evictions, 0, "default budget should not evict here");
+}
