@@ -111,6 +111,9 @@ mod tests {
             indirect_transfers: 0,
             mode_switches: 0,
             adverts_discarded: 0,
+            sender: exs::ConnStats::default(),
+            receiver: exs::ConnStats::default(),
+            digest: 0,
             events: 0,
         };
         let s = summarize(&[r], |r| r.cpu_sender * 100.0);

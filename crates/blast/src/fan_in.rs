@@ -572,6 +572,14 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
     );
 
     let end = server.finished_at.unwrap_or(outcome.end);
+    // Fold the shared CQs' pressure gauges into every snapshot before
+    // serializing (overflow here would mean the per-conn sizing above
+    // was wrong).
+    net.with_api(server_node, |api| {
+        for conn in server.reactor.conn_ids() {
+            server.reactor.conn_mut(conn).sync_cq_stats(api);
+        }
+    });
     let per_conn: Vec<ConnStats> = server
         .reactor
         .conn_ids()

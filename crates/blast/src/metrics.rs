@@ -11,6 +11,7 @@
 //! confidence interval; [`Summary`] reproduces that using the Student-t
 //! critical value for the sample size.
 
+use exs::ConnStats;
 use simnet::{SimDuration, SimTime};
 
 /// Result of one blast run.
@@ -36,6 +37,15 @@ pub struct BlastReport {
     pub mode_switches: u64,
     /// ADVERTs the sender discarded as stale.
     pub adverts_discarded: u64,
+    /// Full sender-side counter snapshot (doorbells, signaling,
+    /// coalescing, CQ pressure).
+    pub sender: ConnStats,
+    /// Full receiver-side counter snapshot.
+    pub receiver: ConnStats,
+    /// FNV-1a digest of the delivered stream, folded in delivery order.
+    /// Only meaningful with [`crate::VerifyLevel::Full`] (the offset
+    /// basis otherwise: without verification the payload is never read).
+    pub digest: u64,
     /// Simulation events processed (determinism check aid).
     pub events: u64,
 }
@@ -154,6 +164,9 @@ mod tests {
             indirect_transfers: 1,
             mode_switches: 0,
             adverts_discarded: 0,
+            sender: ConnStats::default(),
+            receiver: ConnStats::default(),
+            digest: crate::fan_in::FNV_OFFSET,
             events: 0,
         }
     }

@@ -13,6 +13,7 @@ use rdma_verbs::{Access, HwProfile, MrInfo, NodeApi, NodeApp, SimNet};
 use simnet::{SimDuration, SimTime};
 
 use crate::distribution::SizeDist;
+use crate::fan_in::{fnv1a, FNV_OFFSET};
 use crate::metrics::BlastReport;
 
 /// How much payload verification the receiver performs.
@@ -188,6 +189,7 @@ struct Server {
     received: u64,
     next_id: u64,
     verify: VerifyLevel,
+    digest: u64,
     finished_at: Option<SimTime>,
 }
 
@@ -254,6 +256,7 @@ impl Server {
                                 self.received + i as u64
                             );
                         }
+                        self.digest = fnv1a(self.digest, &buf);
                     }
                     self.received += len as u64;
                     self.free_slots.push(slot);
@@ -348,6 +351,7 @@ pub fn run_blast(spec: &BlastSpec) -> BlastReport {
         received: 0,
         next_id: 0,
         verify: spec.verify,
+        digest: FNV_OFFSET,
         finished_at: None,
     };
     net.with_api(client_node, |api| {
@@ -378,7 +382,15 @@ pub fn run_blast(spec: &BlastSpec) -> BlastReport {
     let start = client.first_send_at.expect("client sent something");
     let end = server.finished_at.expect("server finished");
     let elapsed = end.saturating_duration_since(start);
-    let stats = client.sock.as_ref().unwrap().stats();
+    net.with_api(client_node, |api| {
+        client.sock.as_mut().unwrap().sync_cq_stats(api)
+    });
+    net.with_api(server_node, |api| {
+        server.sock.as_mut().unwrap().sync_cq_stats(api)
+    });
+    let sender_stats = client.sock.as_ref().unwrap().stats().clone();
+    let receiver_stats = server.sock.as_ref().unwrap().stats().clone();
+    let stats = &sender_stats;
     let cpu = |busy: SimDuration| {
         if elapsed.is_zero() {
             0.0
@@ -397,6 +409,9 @@ pub fn run_blast(spec: &BlastSpec) -> BlastReport {
         indirect_transfers: stats.indirect_transfers,
         mode_switches: stats.mode_switches,
         adverts_discarded: stats.adverts_discarded,
+        sender: sender_stats.clone(),
+        receiver: receiver_stats,
+        digest: server.digest,
         events: outcome.events,
     }
 }

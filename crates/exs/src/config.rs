@@ -83,6 +83,22 @@ pub struct ExsConfig {
     pub max_wwi_chunk: u32,
     /// Send-queue depth for the underlying QP.
     pub sq_depth: usize,
+    /// Largest postlist flushed in one doorbell. `1` disables transmit
+    /// batching entirely (every WQE pays its own doorbell, every data
+    /// WQE is signaled, no coalescing) — the pre-batching behaviour,
+    /// kept as the bench baseline. `0` ⇒ default (min(sq_depth, 64)).
+    pub tx_batch_limit: usize,
+    /// Signal every Nth data WQE; the ones in between complete
+    /// unsignaled and their SQ slots are reclaimed in a batch by the
+    /// next signaled CQE. A signal is forced when the SQ nears full or
+    /// a flush drains the TX queue, so the interval may safely exceed
+    /// the SQ depth. `0` ⇒ default (min(sq_depth / 4, 16), at least 1).
+    pub signal_interval: usize,
+    /// Adjacent indirect (buffered) sends no larger than this are
+    /// coalesced into one staged WWI until the staging run reaches
+    /// `max_wwi_chunk`, the ring wraps, or the sender flushes. `0`
+    /// disables coalescing; ignored when `tx_batch_limit` is 1.
+    pub coalesce_threshold: u64,
     /// Registered-memory pool tunables (pinned-bytes budget, minimum
     /// slab class) for endpoints that stage user data through a
     /// [`crate::mempool::MemPool`] on this connection's node.
@@ -100,6 +116,9 @@ impl Default for ExsConfig {
             credit_return_threshold: 0,
             max_wwi_chunk: MAX_WWI_LEN,
             sq_depth: 4096,
+            tx_batch_limit: 0,
+            signal_interval: 0,
+            coalesce_threshold: 256,
             pool: MemPoolConfig::default(),
         }
     }
@@ -176,6 +195,40 @@ impl ExsConfig {
             self.credit_return_threshold
         }
     }
+
+    /// Effective postlist limit (0 ⇒ min(sq_depth, 64)).
+    pub fn effective_tx_batch_limit(&self) -> usize {
+        if self.tx_batch_limit == 0 {
+            self.sq_depth.min(64)
+        } else {
+            self.tx_batch_limit
+        }
+    }
+
+    /// Effective signaling interval (0 ⇒ min(sq_depth / 4, 16), at
+    /// least 1). A limit-1 batch config also forces interval 1: without
+    /// postlists there is no batch retirement to amortize, and the
+    /// unbatched baseline should behave exactly like the pre-batching
+    /// code.
+    pub fn effective_signal_interval(&self) -> usize {
+        if self.effective_tx_batch_limit() == 1 {
+            return 1;
+        }
+        if self.signal_interval == 0 {
+            (self.sq_depth / 4).clamp(1, 16)
+        } else {
+            self.signal_interval
+        }
+    }
+
+    /// Effective coalescing threshold (bytes; 0 when batching is off).
+    pub fn effective_coalesce_threshold(&self) -> u64 {
+        if self.effective_tx_batch_limit() == 1 {
+            0
+        } else {
+            self.coalesce_threshold
+        }
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +279,33 @@ mod tests {
             ..ExsConfig::default()
         };
         assert_eq!(bad.validate(), Err(ConfigError::BadChunkLimit));
+    }
+
+    #[test]
+    fn tx_batching_defaults_and_unbatched_override() {
+        let c = ExsConfig::default();
+        assert_eq!(c.effective_tx_batch_limit(), 64);
+        assert_eq!(c.effective_signal_interval(), 16);
+        assert_eq!(c.effective_coalesce_threshold(), 256);
+
+        // tx_batch_limit = 1 means "the old unbatched path": per-WQE
+        // doorbells, per-WQE signaling, no coalescing.
+        let unbatched = ExsConfig {
+            tx_batch_limit: 1,
+            signal_interval: 8,
+            coalesce_threshold: 512,
+            ..ExsConfig::default()
+        };
+        assert_eq!(unbatched.effective_tx_batch_limit(), 1);
+        assert_eq!(unbatched.effective_signal_interval(), 1);
+        assert_eq!(unbatched.effective_coalesce_threshold(), 0);
+
+        let shallow = ExsConfig {
+            sq_depth: 8,
+            ..ExsConfig::default()
+        };
+        assert_eq!(shallow.effective_tx_batch_limit(), 8);
+        assert_eq!(shallow.effective_signal_interval(), 2);
     }
 
     #[test]

@@ -55,13 +55,14 @@ pub mod seqpacket;
 pub mod stats;
 pub mod stream;
 pub mod threaded;
+mod txpipe;
 
 pub use api::{Event, ExsContext, ExsFd, MsgFlags, QueuedEvent, SockType};
 pub use config::{ConfigError, ExsConfig, ProtocolMode, WwiMode};
 pub use mempool::{MemPool, MemPoolConfig, MrLease};
 pub use messages::{Advert, Ctrl, CtrlMsg, TransferKind};
 pub use phase::Phase;
-pub use port::VerbsPort;
+pub use port::{CqPressure, VerbsPort};
 pub use reactor::{ConnId, Reactor, ReactorConfig, Readiness};
 pub use seq::Seq;
 pub use seqpacket::{SeqPacketEvent, SeqPacketSocket};

@@ -164,6 +164,14 @@ impl CtrlMsg {
         buf
     }
 
+    /// Encodes straight into a shareable inline payload: exactly one
+    /// heap allocation. The older `encode().to_vec()` idiom copied the
+    /// stack array into a `Vec` only for `Bytes::from` to copy it a
+    /// second time into its refcounted storage.
+    pub fn encode_bytes(&self) -> bytes::Bytes {
+        bytes::Bytes::copy_from_slice(&self.encode())
+    }
+
     /// Parses the fixed wire layout.
     pub fn decode(buf: &[u8]) -> Result<CtrlMsg, DecodeError> {
         if buf.len() < CTRL_MSG_LEN {
@@ -343,6 +351,16 @@ mod tests {
     #[should_panic(expected = "exceeds imm encoding")]
     fn imm_overflow_panics() {
         encode_imm(TransferKind::Direct, MAX_WWI_LEN + 1);
+    }
+
+    #[test]
+    fn encode_bytes_matches_encode() {
+        let m = CtrlMsg {
+            ctrl: Ctrl::Advert(advert()),
+            credit_return: 17,
+        };
+        assert_eq!(&m.encode_bytes()[..], &m.encode()[..]);
+        assert_eq!(m.encode_bytes().len(), CTRL_MSG_LEN);
     }
 
     #[test]

@@ -16,6 +16,16 @@ use rdma_verbs::{Access, CqId, Cqe, MrInfo, MrKey, NodeApi, QpNum, RecvWr, Resul
 pub trait VerbsPort {
     /// Posts a send work request.
     fn post_send(&mut self, qpn: QpNum, wr: SendWr) -> Result<()>;
+    /// Posts a chain of send work requests as one postlist, paying a
+    /// single doorbell cost where the backend models one. The default
+    /// falls back to one doorbell per WR so a backend only overrides
+    /// this when it can genuinely batch.
+    fn post_send_list(&mut self, qpn: QpNum, wrs: Vec<SendWr>) -> Result<()> {
+        for wr in wrs {
+            self.post_send(qpn, wr)?;
+        }
+        Ok(())
+    }
     /// Posts a receive work request.
     fn post_recv(&mut self, qpn: QpNum, wr: RecvWr) -> Result<()>;
     /// Polls up to `max` completions from `cq` into `out`.
@@ -57,11 +67,35 @@ pub trait VerbsPort {
     /// uncharged — the fill is part of producing the data, not of the
     /// transport).
     fn write_mr(&mut self, key: MrKey, addr: u64, data: &[u8]) -> Result<()>;
+    /// CQ pressure gauges: `(overflowed, max_batch, nonempty_polls)`
+    /// for one completion queue, surfaced into stats snapshots so bench
+    /// output shows when a CQ was sized too small. Backends without
+    /// introspection return the neutral reading.
+    fn cq_pressure(&self, cq: CqId) -> CqPressure {
+        let _ = cq;
+        CqPressure::default()
+    }
+}
+
+/// A point-in-time reading of one completion queue's pressure gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CqPressure {
+    /// The CQ dropped a completion because it was full (fatal in real
+    /// verbs; latched sticky here).
+    pub overflowed: bool,
+    /// Largest number of CQEs returned by a single poll.
+    pub max_batch: u64,
+    /// Polls that returned at least one CQE.
+    pub nonempty_polls: u64,
 }
 
 impl VerbsPort for NodeApi<'_> {
     fn post_send(&mut self, qpn: QpNum, wr: SendWr) -> Result<()> {
         NodeApi::post_send(self, qpn, wr)
+    }
+
+    fn post_send_list(&mut self, qpn: QpNum, wrs: Vec<SendWr>) -> Result<()> {
+        NodeApi::post_send_list(self, qpn, wrs)
     }
 
     fn post_recv(&mut self, qpn: QpNum, wr: RecvWr) -> Result<()> {
@@ -117,5 +151,16 @@ impl VerbsPort for NodeApi<'_> {
 
     fn write_mr(&mut self, key: MrKey, addr: u64, data: &[u8]) -> Result<()> {
         NodeApi::write_mr(self, key, addr, data)
+    }
+
+    fn cq_pressure(&self, cq: CqId) -> CqPressure {
+        self.hca()
+            .cq(cq)
+            .map(|q| CqPressure {
+                overflowed: q.overflowed(),
+                max_batch: q.max_batch(),
+                nonempty_polls: q.nonempty_polls(),
+            })
+            .unwrap_or_default()
     }
 }

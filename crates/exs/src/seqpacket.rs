@@ -17,7 +17,7 @@
 //! because porting stream applications to such semantics risks data
 //! loss, paper §I).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use rdma_verbs::{
     connect_pair, Cqe, MrInfo, NodeApi, NodeId, QpCaps, QpNum, RecvWr, RemoteAddr, SendWr, Sge,
@@ -31,6 +31,7 @@ use crate::phase::Phase;
 use crate::port::VerbsPort;
 use crate::seq::Seq;
 use crate::stats::ConnStats;
+use crate::txpipe::TxPipe;
 
 const CTRL_SLOT: u64 = 64;
 const CREDIT_RESERVE: u32 = 1;
@@ -84,11 +85,17 @@ pub struct SeqPacketSocket {
     send_cq: CqId,
     recv_cq: CqId,
     ctrl_mr: MrInfo,
+    cfg: ExsConfig,
     adverts: VecDeque<Advert>,
     pending_sends: VecDeque<PendingSend>,
     recv_queue: VecDeque<(u64, u32)>,
-    wwi_owner: HashMap<u64, (u64, u32)>,
+    /// Message WWIs awaiting retirement, in posting (= wr_id) order. RC
+    /// FIFO means a signaled CQE for wr_id `W` retires every entry with
+    /// a smaller wr_id too (the unsignaled ones in between).
+    wwi_owner: VecDeque<(u64, (u64, u32))>,
     next_wr: u64,
+    /// Postlist staging and selective-signaling state.
+    tx: TxPipe,
     next_seq: Seq,
     peer_credits: u32,
     owed_credits: u32,
@@ -213,6 +220,7 @@ impl SeqPacketSocket {
         });
         self.pump_sends(api);
         self.flush_ctrl(api);
+        self.flush_tx(api);
     }
 
     /// Asynchronous message receive: advertises the buffer immediately.
@@ -242,6 +250,7 @@ impl SeqPacketSocket {
         self.stats.adverts_sent += 1;
         self.pending_ctrl.push_back(Ctrl::Advert(advert));
         self.flush_ctrl(api);
+        self.flush_tx(api);
     }
 
     /// Drives the socket from a node wake.
@@ -262,6 +271,7 @@ impl SeqPacketSocket {
         self.pump_sends(api);
         self.flush_ctrl(api);
         self.maybe_send_credit(api);
+        self.flush_tx(api);
     }
 
     /// Takes accumulated user events.
@@ -329,18 +339,28 @@ impl SeqPacketSocket {
     fn on_send_cqe(&mut self, api: &mut impl VerbsPort, cqe: Cqe) {
         assert_eq!(cqe.status, WcStatus::Success);
         api.charge_cqe_cost();
-        let (id, len) = self
-            .wwi_owner
-            .remove(&cqe.wr_id)
-            .expect("completion for unknown WWI");
-        self.stats.sends_completed += 1;
-        self.stats.bytes_sent += len as u64;
-        self.events.push(SeqPacketEvent::SendComplete { id, len });
+        self.tx.on_signaled_cqe();
+        // RC FIFO: one signaled completion retires every WQE posted
+        // before it, so drain all owners up to and including its wr_id
+        // (a signaled control SEND may retire message WWIs posted ahead
+        // of it and own no entry itself).
+        while let Some(&(wr_id, (id, len))) = self.wwi_owner.front() {
+            if wr_id > cqe.wr_id {
+                break;
+            }
+            self.wwi_owner.pop_front();
+            self.stats.sends_completed += 1;
+            self.stats.bytes_sent += len as u64;
+            self.events.push(SeqPacketEvent::SendComplete { id, len });
+        }
     }
 
     fn pump_sends(&mut self, api: &mut impl VerbsPort) {
         while !self.pending_sends.is_empty() {
             if self.peer_credits <= CREDIT_RESERVE {
+                return;
+            }
+            if api.sq_outstanding(self.qpn) + self.tx.staged() >= self.cfg.sq_depth {
                 return;
             }
             let Some(advert) = self.adverts.front().copied() else {
@@ -373,14 +393,17 @@ impl SeqPacketSocket {
                 },
                 encode_imm(TransferKind::Direct, head.len),
             );
-            api.post_send(self.qpn, wr).expect("posting message WWI");
+            self.stage_wr(api, wr, true);
             self.peer_credits -= 1;
-            self.wwi_owner.insert(wr_id, (head.id, head.len));
+            self.wwi_owner.push_back((wr_id, (head.id, head.len)));
             self.stats.direct_transfers += 1;
             self.stats.direct_bytes += head.len as u64;
         }
     }
 
+    /// Moves eligible control messages onto the TX queue (they are
+    /// posted by the next [`SeqPacketSocket::flush_tx`], sharing its
+    /// doorbell with any message WWIs staged in the same pass).
     fn flush_ctrl(&mut self, api: &mut impl VerbsPort) {
         while let Some(front) = self.pending_ctrl.front() {
             let needed = match front {
@@ -390,16 +413,43 @@ impl SeqPacketSocket {
             if self.peer_credits < needed {
                 return;
             }
+            if api.sq_outstanding(self.qpn) + self.tx.staged() >= self.cfg.sq_depth {
+                return;
+            }
             let ctrl = self.pending_ctrl.pop_front().expect("front exists");
             let msg = CtrlMsg {
                 ctrl,
                 credit_return: self.owed_credits,
             };
             self.owed_credits = 0;
-            let wr = SendWr::send_inline(u64::MAX, msg.encode().to_vec()).unsignaled();
-            api.post_send(self.qpn, wr).expect("posting control");
+            let wr_id = self.next_wr;
+            self.next_wr += 1;
+            self.stage_wr(api, SendWr::send_inline(wr_id, msg.encode_bytes()), false);
             self.peer_credits -= 1;
         }
+    }
+
+    /// Stages one WQE on the TX pipe (see [`TxPipe::stage`] for the
+    /// signaling policy). `is_data` marks message WWIs.
+    fn stage_wr(&mut self, api: &mut impl VerbsPort, wr: SendWr, is_data: bool) {
+        let occupancy = api.sq_outstanding(self.qpn) + self.tx.staged();
+        self.tx
+            .stage(occupancy, &self.cfg, wr, is_data, &mut self.stats);
+    }
+
+    /// Posts the staged TX queue as postlists (see [`TxPipe::flush`]).
+    fn flush_tx(&mut self, api: &mut impl VerbsPort) {
+        self.tx.flush(api, self.qpn, &self.cfg, &mut self.stats);
+    }
+
+    /// Refreshes the CQ-pressure gauges from the backend into this
+    /// endpoint's stats; call before serializing a snapshot.
+    pub fn sync_cq_stats(&mut self, api: &impl VerbsPort) {
+        let s = api.cq_pressure(self.send_cq);
+        let r = api.cq_pressure(self.recv_cq);
+        self.stats.cq_overflowed = s.overflowed || r.overflowed;
+        self.stats.cq_max_batch = s.max_batch.max(r.max_batch);
+        self.stats.cq_nonempty_polls = s.nonempty_polls + r.nonempty_polls;
     }
 
     fn maybe_send_credit(&mut self, api: &mut impl VerbsPort) {
@@ -437,9 +487,11 @@ impl PreparedSeqSocket {
             adverts: VecDeque::new(),
             pending_sends: VecDeque::new(),
             recv_queue: VecDeque::new(),
-            wwi_owner: HashMap::new(),
+            wwi_owner: VecDeque::new(),
             next_wr: 1,
+            tx: TxPipe::new(),
             next_seq: Seq::ZERO,
+            cfg: self.cfg,
             peer_credits: peer.credits,
             owed_credits: 0,
             credit_threshold,

@@ -41,6 +41,31 @@ pub struct ConnStats {
     pub bytes_sent: u64,
     /// User payload bytes delivered to completed receives.
     pub bytes_received: u64,
+    /// Doorbells rung: `post_send`/`post_send_list` calls issued by the
+    /// transmit pipeline.
+    pub doorbells: u64,
+    /// Send WQEs posted across all doorbells.
+    pub wqes_posted: u64,
+    /// Largest postlist flushed with a single doorbell.
+    pub max_wqes_per_doorbell: u64,
+    /// Data WQEs posted signaled (every `signal_interval`-th, plus
+    /// forced signals at SQ-near-full and flush boundaries).
+    pub signaled_wqes: u64,
+    /// WQEs posted unsignaled; their SQ slots are reclaimed in a batch
+    /// by the next signaled completion.
+    pub unsignaled_wqes: u64,
+    /// User messages coalesced into a shared staged WWI (counts every
+    /// message in a coalesced run of two or more).
+    pub coalesced_msgs: u64,
+    /// User payload bytes carried by coalesced runs.
+    pub coalesced_bytes: u64,
+    /// A CQ serving this endpoint dropped a completion (sticky; fatal
+    /// in real verbs).
+    pub cq_overflowed: bool,
+    /// Largest CQE batch a single poll returned on this endpoint's CQs.
+    pub cq_max_batch: u64,
+    /// Polls of this endpoint's CQs that returned at least one CQE.
+    pub cq_nonempty_polls: u64,
 }
 
 impl ConnStats {
@@ -70,6 +95,26 @@ impl ConnStats {
         }
     }
 
+    /// Mean WQEs per doorbell — the postlist amortization factor (1.0
+    /// means every WQE paid its own doorbell).
+    pub fn mean_wqes_per_doorbell(&self) -> f64 {
+        if self.doorbells == 0 {
+            0.0
+        } else {
+            self.wqes_posted as f64 / self.doorbells as f64
+        }
+    }
+
+    /// Fraction of posted WQEs that completed unsignaled (CQEs saved).
+    pub fn unsignaled_ratio(&self) -> f64 {
+        let total = self.signaled_wqes + self.unsignaled_wqes;
+        if total == 0 {
+            0.0
+        } else {
+            self.unsignaled_wqes as f64 / total as f64
+        }
+    }
+
     /// Adds another endpoint's counters into this one (fan-in
     /// aggregation across a reactor's connections).
     pub fn merge(&mut self, other: &ConnStats) {
@@ -89,6 +134,16 @@ impl ConnStats {
         self.recvs_completed += other.recvs_completed;
         self.bytes_sent += other.bytes_sent;
         self.bytes_received += other.bytes_received;
+        self.doorbells += other.doorbells;
+        self.wqes_posted += other.wqes_posted;
+        self.max_wqes_per_doorbell = self.max_wqes_per_doorbell.max(other.max_wqes_per_doorbell);
+        self.signaled_wqes += other.signaled_wqes;
+        self.unsignaled_wqes += other.unsignaled_wqes;
+        self.coalesced_msgs += other.coalesced_msgs;
+        self.coalesced_bytes += other.coalesced_bytes;
+        self.cq_overflowed |= other.cq_overflowed;
+        self.cq_max_batch = self.cq_max_batch.max(other.cq_max_batch);
+        self.cq_nonempty_polls += other.cq_nonempty_polls;
     }
 
     /// Serializes the counters (plus derived ratios) as a JSON object.
@@ -105,7 +160,14 @@ impl ConnStats {
                 "\"acks_sent\":{},\"acks_received\":{},\"credits_sent\":{},",
                 "\"bytes_copied_out\":{},\"sends_completed\":{},",
                 "\"recvs_completed\":{},\"bytes_sent\":{},",
-                "\"bytes_received\":{},\"direct_ratio\":{:.6},",
+                "\"bytes_received\":{},\"doorbells\":{},",
+                "\"wqes_posted\":{},\"max_wqes_per_doorbell\":{},",
+                "\"signaled_wqes\":{},\"unsignaled_wqes\":{},",
+                "\"coalesced_msgs\":{},\"coalesced_bytes\":{},",
+                "\"cq_overflowed\":{},\"cq_max_batch\":{},",
+                "\"cq_nonempty_polls\":{},",
+                "\"mean_wqes_per_doorbell\":{:.6},",
+                "\"unsignaled_ratio\":{:.6},\"direct_ratio\":{:.6},",
                 "\"direct_byte_ratio\":{:.6}}}"
             ),
             self.direct_transfers,
@@ -124,6 +186,18 @@ impl ConnStats {
             self.recvs_completed,
             self.bytes_sent,
             self.bytes_received,
+            self.doorbells,
+            self.wqes_posted,
+            self.max_wqes_per_doorbell,
+            self.signaled_wqes,
+            self.unsignaled_wqes,
+            self.coalesced_msgs,
+            self.coalesced_bytes,
+            self.cq_overflowed,
+            self.cq_max_batch,
+            self.cq_nonempty_polls,
+            self.mean_wqes_per_doorbell(),
+            self.unsignaled_ratio(),
             self.direct_ratio(),
             self.direct_byte_ratio(),
         )
@@ -318,6 +392,47 @@ mod tests {
         let j = r.to_json();
         assert!(j.contains("\"cqes_dispatched\":7"));
         assert!(j.contains("\"mean_batch\":3.500000"));
+    }
+
+    #[test]
+    fn tx_batching_counters_json_and_merge() {
+        let mut s = ConnStats {
+            doorbells: 4,
+            wqes_posted: 12,
+            max_wqes_per_doorbell: 6,
+            signaled_wqes: 3,
+            unsignaled_wqes: 9,
+            coalesced_msgs: 5,
+            coalesced_bytes: 640,
+            cq_max_batch: 7,
+            cq_nonempty_polls: 11,
+            ..ConnStats::default()
+        };
+        assert!((s.mean_wqes_per_doorbell() - 3.0).abs() < 1e-12);
+        assert!((s.unsignaled_ratio() - 0.75).abs() < 1e-12);
+        let j = s.to_json();
+        assert!(j.contains("\"doorbells\":4"));
+        assert!(j.contains("\"mean_wqes_per_doorbell\":3.000000"));
+        assert!(j.contains("\"unsignaled_ratio\":0.750000"));
+        assert!(j.contains("\"coalesced_bytes\":640"));
+        assert!(j.contains("\"cq_overflowed\":false"));
+        assert!(j.contains("\"cq_max_batch\":7"));
+
+        let other = ConnStats {
+            doorbells: 1,
+            wqes_posted: 1,
+            max_wqes_per_doorbell: 9,
+            cq_overflowed: true,
+            cq_max_batch: 2,
+            ..ConnStats::default()
+        };
+        s.merge(&other);
+        assert_eq!(s.doorbells, 5);
+        assert_eq!(s.max_wqes_per_doorbell, 9, "merge takes the max");
+        assert_eq!(s.cq_max_batch, 7, "merge takes the max");
+        assert!(s.cq_overflowed, "overflow is sticky across merges");
+        assert_eq!(ConnStats::default().mean_wqes_per_doorbell(), 0.0);
+        assert_eq!(ConnStats::default().unsignaled_ratio(), 0.0);
     }
 
     #[test]

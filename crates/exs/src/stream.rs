@@ -36,6 +36,7 @@ use crate::messages::{decode_imm, encode_imm, Ctrl, CtrlMsg, TransferKind, CTRL_
 use crate::receiver::{LocalRing, ReceiverHalf, RecvAction, RecvOp};
 use crate::sender::{RemoteRing, SenderHalf, WwiPlan};
 use crate::stats::ConnStats;
+use crate::txpipe::TxPipe;
 
 /// Size of one pre-posted control receive slot.
 pub(crate) const CTRL_SLOT: u64 = 64;
@@ -81,12 +82,20 @@ struct PendingSend {
     len: u64,
     key: MrKey,
     dispatched: u64,
+    /// Remaining staging capacity of an open coalesce run: further
+    /// small BCopy sends may append here until the run is closed (full,
+    /// ordered behind a newer send, flushed, or dispatched and popped).
+    open_cap: Option<u64>,
 }
 
 struct SendTrack {
     len: u64,
     outstanding: u32,
     dispatched_all: bool,
+    /// User sends carried by this entry (more than one when small
+    /// BCopy sends were coalesced into a shared staging run); each gets
+    /// its own `SendComplete` when the run's last WWI completes.
+    members: Vec<(u64, u64)>,
 }
 
 /// Connection parameters one side shares with its peer at setup.
@@ -111,8 +120,14 @@ pub struct StreamSocket {
     ctrl_mr: MrInfo,
     pending_sends: VecDeque<PendingSend>,
     inflight: HashMap<u64, SendTrack>,
-    wwi_owner: HashMap<u64, u64>,
+    /// Data WQEs awaiting retirement, in posting (= wr_id) order. RC
+    /// FIFO means a signaled CQE for wr_id `W` implies every WQE with a
+    /// smaller wr_id also completed, so one CQE drains the whole prefix
+    /// `wr_id <= W` — the EXS-level half of batched SQ reclamation.
+    wwi_owner: VecDeque<(u64, u64)>,
     next_wr: u64,
+    /// Postlist staging and selective-signaling state.
+    tx: TxPipe,
     peer_credits: u32,
     owed_credits: u32,
     credit_threshold: u32,
@@ -321,7 +336,12 @@ impl StreamSocket {
             self.events.push(ExsEvent::SendComplete { id, len: 0 });
             return;
         }
-        let (addr, key) = if self.cfg.mode == ProtocolMode::BCopy {
+        let coalesce = self.cfg.effective_coalesce_threshold();
+        if self.cfg.mode == ProtocolMode::BCopy && coalesce > 0 && len <= coalesce {
+            self.coalesce_send(api, mr, offset, len, id);
+            return;
+        }
+        let (addr, key, open_cap) = if self.cfg.mode == ProtocolMode::BCopy {
             // rsockets-style BCopy: copy the user data into an internal
             // staging region first (charged to the sender's CPU), then
             // transfer from the staging copy. The user buffer is
@@ -331,16 +351,30 @@ impl StreamSocket {
             api.copy_mr(mr.key, mr.addr + offset, stage.key, stage.addr, len)
                 .expect("BCopy staging copy");
             self.staging.insert(id, stage.key);
-            (stage.addr, stage.key)
+            (stage.addr, stage.key, None)
         } else {
-            (mr.addr + offset, mr.key)
+            (mr.addr + offset, mr.key, None)
         };
+        self.queue_send(id, addr, len, key, open_cap);
+        self.pump_sends(api);
+        self.flush_ctrl(api);
+        self.flush_tx(api);
+    }
+
+    /// Queues one pending send, closing any open coalesce run ahead of
+    /// it (appending to a run behind a newer send would reorder the
+    /// stream).
+    fn queue_send(&mut self, id: u64, addr: u64, len: u64, key: MrKey, open_cap: Option<u64>) {
+        if let Some(tail) = self.pending_sends.back_mut() {
+            tail.open_cap = None;
+        }
         self.pending_sends.push_back(PendingSend {
             id,
             addr,
             len,
             key,
             dispatched: 0,
+            open_cap,
         });
         self.inflight.insert(
             id,
@@ -348,10 +382,85 @@ impl StreamSocket {
                 len,
                 outstanding: 0,
                 dispatched_all: false,
+                members: vec![(id, len)],
             },
         );
-        self.pump_sends(api);
-        self.flush_ctrl(api);
+    }
+
+    /// Small-send coalescing (BCopy mode): appends the message to the
+    /// open staging run at the queue tail, or starts a fresh run sized
+    /// `coalesce_threshold`. A run is dispatched immediately when no
+    /// signaled WQE is outstanding (nothing in flight would wake us
+    /// later — Nagle's "send now if idle" rule); otherwise it is held
+    /// so neighbouring small sends share one WWI, until the run fills,
+    /// the next progress round, or an explicit [`StreamSocket::tx_flush`].
+    fn coalesce_send(
+        &mut self,
+        api: &mut impl VerbsPort,
+        mr: &MrInfo,
+        offset: u64,
+        len: u64,
+        id: u64,
+    ) {
+        let appended = match self.pending_sends.back_mut() {
+            Some(tail) if tail.open_cap.unwrap_or(0) >= len => {
+                api.copy_mr(
+                    mr.key,
+                    mr.addr + offset,
+                    tail.key,
+                    tail.addr + tail.len,
+                    len,
+                )
+                .expect("coalesce staging copy");
+                let cap = tail.open_cap.expect("checked above") - len;
+                tail.len += len;
+                tail.open_cap = if cap == 0 { None } else { Some(cap) };
+                let track = self
+                    .inflight
+                    .get_mut(&tail.id)
+                    .expect("open run has a track");
+                if track.members.len() == 1 {
+                    // The run just became a coalesced one: count its
+                    // first member too.
+                    self.stats.coalesced_msgs += 1;
+                    self.stats.coalesced_bytes += track.len;
+                }
+                self.stats.coalesced_msgs += 1;
+                self.stats.coalesced_bytes += len;
+                track.len += len;
+                track.members.push((id, len));
+                true
+            }
+            _ => false,
+        };
+        if !appended {
+            let cap = self.cfg.effective_coalesce_threshold();
+            let stage = api.register_mr(cap as usize, Access::NONE);
+            api.copy_mr(mr.key, mr.addr + offset, stage.key, stage.addr, len)
+                .expect("BCopy staging copy");
+            self.staging.insert(id, stage.key);
+            self.queue_send(id, stage.addr, len, stage.key, Some(cap - len));
+        }
+        if self.tx.signaled_outstanding() == 0 {
+            // Nothing in flight will wake us later; dispatch now.
+            self.pump_sends(api);
+            self.flush_ctrl(api);
+            self.flush_tx(api);
+        }
+    }
+
+    /// Closes the open coalesce run and pushes every staged WQE to the
+    /// HCA immediately — the latency opt-out from small-send
+    /// coalescing and postlist batching.
+    pub fn tx_flush(&mut self, api: &mut impl VerbsPort) {
+        if let Some(tail) = self.pending_sends.back_mut() {
+            tail.open_cap = None;
+        }
+        if !self.broken {
+            self.pump_sends(api);
+            self.flush_ctrl(api);
+        }
+        self.flush_tx(api);
     }
 
     /// Asynchronous receive (ES-API `exs_recv`): queues the operation and
@@ -391,6 +500,7 @@ impl StreamSocket {
         self.actions_scratch = actions;
         self.flush_ctrl(api);
         self.check_eof(api);
+        self.flush_tx(api);
     }
 
     /// Best-effort cancellation of a pending operation (ES-API
@@ -403,12 +513,14 @@ impl StreamSocket {
         if self.receiver.cancel_recv(id) {
             return true;
         }
-        // A send is cancellable while fully undispatched.
-        if let Some(pos) = self
-            .pending_sends
-            .iter()
-            .position(|p| p.id == id && p.dispatched == 0)
-        {
+        // A send is cancellable while fully undispatched and not yet
+        // merged with neighbours (a coalesced member's bytes are
+        // already interleaved in the shared staging run).
+        if let Some(pos) = self.pending_sends.iter().position(|p| {
+            p.id == id
+                && p.dispatched == 0
+                && self.inflight.get(&id).is_some_and(|t| t.members.len() == 1)
+        }) {
             self.pending_sends.remove(pos);
             self.inflight.remove(&id);
             if let Some(key) = self.staging.remove(&id) {
@@ -425,7 +537,16 @@ impl StreamSocket {
     /// final stream length. Idempotent; sends after shutdown panic.
     pub fn exs_shutdown(&mut self, api: &mut impl VerbsPort) {
         self.send_closed = true;
+        if let Some(tail) = self.pending_sends.back_mut() {
+            // No further sends can arrive; the open run is as coalesced
+            // as it will ever be.
+            tail.open_cap = None;
+        }
+        if !self.broken {
+            self.pump_sends(api);
+        }
         self.try_queue_fin(api);
+        self.flush_tx(api);
     }
 
     /// True once the local sending direction is closed.
@@ -550,6 +671,7 @@ impl StreamSocket {
         self.flush_ctrl(api);
         self.maybe_send_credit(api);
         self.check_eof(api);
+        self.flush_tx(api);
     }
 
     /// Takes the accumulated user events.
@@ -637,26 +759,37 @@ impl StreamSocket {
             return;
         }
         api.charge_cqe_cost();
-        debug_assert_eq!(cqe.opcode, WcOpcode::RdmaWrite);
-        let Some(owner) = self.wwi_owner.remove(&cqe.wr_id) else {
-            panic!("send completion for unknown WWI wr_id {}", cqe.wr_id);
-        };
-        let track = self
-            .inflight
-            .get_mut(&owner)
-            .expect("send track for completed WWI");
-        track.outstanding -= 1;
-        if track.outstanding == 0 && track.dispatched_all {
-            let track = self.inflight.remove(&owner).expect("checked above");
-            if let Some(stage_key) = self.staging.remove(&owner) {
-                api.deregister_mr(stage_key).expect("free staging region");
+        debug_assert!(
+            matches!(cqe.opcode, WcOpcode::RdmaWrite | WcOpcode::Send),
+            "unexpected send-side completion {:?}",
+            cqe.opcode
+        );
+        self.tx.on_signaled_cqe();
+        // RC FIFO: this signaled completion retires every WQE posted
+        // before it, so drain all owners up to and including its wr_id
+        // (a signaled control SEND may retire data WWIs posted ahead of
+        // it and own no entry itself).
+        while let Some(&(wr_id, owner)) = self.wwi_owner.front() {
+            if wr_id > cqe.wr_id {
+                break;
             }
-            self.stats.sends_completed += 1;
-            self.stats.bytes_sent += track.len;
-            self.events.push(ExsEvent::SendComplete {
-                id: owner,
-                len: track.len,
-            });
+            self.wwi_owner.pop_front();
+            let track = self
+                .inflight
+                .get_mut(&owner)
+                .expect("send track for completed WWI");
+            track.outstanding -= 1;
+            if track.outstanding == 0 && track.dispatched_all {
+                let track = self.inflight.remove(&owner).expect("checked above");
+                if let Some(stage_key) = self.staging.remove(&owner) {
+                    api.deregister_mr(stage_key).expect("free staging region");
+                }
+                for (id, len) in track.members {
+                    self.stats.sends_completed += 1;
+                    self.stats.bytes_sent += len;
+                    self.events.push(ExsEvent::SendComplete { id, len });
+                }
+            }
         }
     }
 
@@ -666,11 +799,13 @@ impl StreamSocket {
                 return;
             };
             // Resource gates: a WWI needs a peer receive credit (it
-            // consumes a posted RECV) and a send-queue slot.
+            // consumes a posted RECV) and a send-queue slot. Staged
+            // WQEs count against the SQ: they will occupy slots the
+            // moment the queue flushes.
             if self.peer_credits <= CREDIT_RESERVE {
                 return;
             }
-            if api.sq_outstanding(self.qpn) >= self.cfg.sq_depth {
+            if api.sq_outstanding(self.qpn) + self.tx.staged() >= self.cfg.sq_depth {
                 return;
             }
             let remaining = head.len - head.dispatched;
@@ -696,41 +831,48 @@ impl StreamSocket {
             rkey: MrKey(plan.rkey),
         };
         let imm = encode_imm(kind, plan.len);
+        let owner = head.id;
+        let head_done = {
+            let track = self.inflight.get_mut(&owner).expect("inflight entry");
+            track.outstanding += 1;
+            head.dispatched += plan.len as u64;
+            if head.dispatched == head.len {
+                track.dispatched_all = true;
+                true
+            } else {
+                false
+            }
+        };
+        if head_done {
+            self.pending_sends.pop_front();
+        }
         match self.cfg.wwi_mode {
             WwiMode::Native => {
-                api.post_send(self.qpn, SendWr::write_imm(wr_id, sge, remote, imm))
-                    .expect("posting WWI");
+                self.stage_wr(api, SendWr::write_imm(wr_id, sge, remote, imm), true);
             }
             WwiMode::WritePlusSend => {
                 // Old-iWARP emulation (paper §II-B): a plain RDMA WRITE
                 // places the data, then a small SEND notifies the peer.
                 // The QP's FIFO ordering guarantees the notification
-                // arrives after the data. The WRITE carries the signaled
-                // completion (buffer ownership); the notification SEND
-                // also returns any accumulated credit.
-                api.post_send(self.qpn, SendWr::write(wr_id, sge, remote))
-                    .expect("posting emulated WWI write");
+                // arrives after the data; the notification SEND also
+                // returns any accumulated credit.
+                self.stage_wr(api, SendWr::write(wr_id, sge, remote), true);
                 let msg = CtrlMsg {
                     ctrl: Ctrl::DataNotify { imm },
                     credit_return: self.owed_credits,
                 };
                 self.owed_credits = 0;
-                api.post_send(
-                    self.qpn,
-                    SendWr::send_inline(u64::MAX, msg.encode().to_vec()).unsignaled(),
-                )
-                .expect("posting emulated WWI notification");
+                let notify_wr = self.next_wr;
+                self.next_wr += 1;
+                self.stage_wr(
+                    api,
+                    SendWr::send_inline(notify_wr, msg.encode_bytes()),
+                    true,
+                );
             }
         }
         self.peer_credits -= 1;
-        self.wwi_owner.insert(wr_id, head.id);
-        let track = self.inflight.get_mut(&head.id).expect("inflight entry");
-        track.outstanding += 1;
-        head.dispatched += plan.len as u64;
-        if head.dispatched == head.len {
-            track.dispatched_all = true;
-            self.pending_sends.pop_front();
-        }
+        self.wwi_owner.push_back((wr_id, owner));
     }
 
     fn execute_actions(&mut self, api: &mut impl VerbsPort, actions: &mut Vec<RecvAction>) {
@@ -755,6 +897,9 @@ impl StreamSocket {
         self.flush_ctrl(api);
     }
 
+    /// Moves eligible control messages onto the TX queue (they are
+    /// posted by the next [`StreamSocket::flush_tx`], sharing its
+    /// doorbell with any data WQEs staged in the same pass).
     fn flush_ctrl(&mut self, api: &mut impl VerbsPort) {
         while let Some(front) = self.pending_ctrl.front() {
             let needed = match front {
@@ -764,7 +909,7 @@ impl StreamSocket {
             if self.peer_credits < needed {
                 return;
             }
-            if api.sq_outstanding(self.qpn) >= self.cfg.sq_depth {
+            if api.sq_outstanding(self.qpn) + self.tx.staged() >= self.cfg.sq_depth {
                 return;
             }
             let ctrl = self.pending_ctrl.pop_front().expect("front exists");
@@ -773,11 +918,36 @@ impl StreamSocket {
                 credit_return: self.owed_credits,
             };
             self.owed_credits = 0;
-            let wr = SendWr::send_inline(u64::MAX, msg.encode().to_vec()).unsignaled();
-            api.post_send(self.qpn, wr)
-                .expect("posting control message");
+            let wr_id = self.next_wr;
+            self.next_wr += 1;
+            self.stage_wr(api, SendWr::send_inline(wr_id, msg.encode_bytes()), false);
             self.peer_credits -= 1;
         }
+    }
+
+    /// Stages one WQE on the TX pipe (see [`TxPipe::stage`] for the
+    /// signaling policy). `is_data` marks WQEs whose completion the
+    /// application waits for.
+    fn stage_wr(&mut self, api: &mut impl VerbsPort, wr: SendWr, is_data: bool) {
+        let occupancy = api.sq_outstanding(self.qpn) + self.tx.staged();
+        self.tx
+            .stage(occupancy, &self.cfg, wr, is_data, &mut self.stats);
+    }
+
+    /// Posts the staged TX queue as postlists (see [`TxPipe::flush`]).
+    fn flush_tx(&mut self, api: &mut impl VerbsPort) {
+        self.tx.flush(api, self.qpn, &self.cfg, &mut self.stats);
+    }
+
+    /// Refreshes the CQ-pressure gauges (`overflowed`, `max_batch`,
+    /// `nonempty_polls`) from the backend into this endpoint's stats;
+    /// call before serializing a snapshot.
+    pub fn sync_cq_stats(&mut self, api: &impl VerbsPort) {
+        let s = api.cq_pressure(self.send_cq);
+        let r = api.cq_pressure(self.recv_cq);
+        self.stats.cq_overflowed = s.overflowed || r.overflowed;
+        self.stats.cq_max_batch = s.max_batch.max(r.max_batch);
+        self.stats.cq_nonempty_polls = s.nonempty_polls + r.nonempty_polls;
     }
 
     fn maybe_send_credit(&mut self, api: &mut impl VerbsPort) {
@@ -874,8 +1044,9 @@ impl PreparedSocket {
             ctrl_mr: self.ctrl_mr,
             pending_sends: VecDeque::new(),
             inflight: HashMap::new(),
-            wwi_owner: HashMap::new(),
+            wwi_owner: VecDeque::new(),
             next_wr: 1,
+            tx: TxPipe::new(),
             peer_credits: peer.credits,
             owed_credits: 0,
             credit_threshold,

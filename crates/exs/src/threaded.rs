@@ -50,6 +50,10 @@ impl VerbsPort for ThreadPort<'_> {
         self.net.post_send(self.node, qpn, wr)
     }
 
+    fn post_send_list(&mut self, qpn: QpNum, wrs: Vec<SendWr>) -> Result<()> {
+        self.net.post_send_list(self.node, qpn, wrs)
+    }
+
     fn post_recv(&mut self, qpn: QpNum, wr: RecvWr) -> Result<()> {
         self.node.post_recv(qpn, wr)
     }
@@ -96,6 +100,18 @@ impl VerbsPort for ThreadPort<'_> {
     fn write_mr(&mut self, key: MrKey, addr: u64, data: &[u8]) -> Result<()> {
         self.node
             .with_hca(|h| h.mem_mut().app_write(key, addr, data))
+    }
+
+    fn cq_pressure(&self, cq: CqId) -> crate::port::CqPressure {
+        self.node.with_hca(|h| {
+            h.cq(cq)
+                .map(|q| crate::port::CqPressure {
+                    overflowed: q.overflowed(),
+                    max_batch: q.max_batch(),
+                    nonempty_polls: q.nonempty_polls(),
+                })
+                .unwrap_or_default()
+        })
     }
 }
 
@@ -402,6 +418,20 @@ impl ThreadStream {
             .ok_or("receive timed out")?;
         let port = ThreadPort::new(&self.net, &self.node);
         lease.read(&port, 0, buf).map_err(|_| "staging read failed")
+    }
+
+    /// Pushes any coalesced-and-held small sends and staged WQEs to the
+    /// HCA immediately (the latency opt-out from transmit batching;
+    /// without it a held send goes out at the next service-thread
+    /// wake).
+    pub fn flush(&self) {
+        let events = {
+            let mut sock = self.shared.sock.lock();
+            let mut port = ThreadPort::new(&self.net, &self.node);
+            sock.tx_flush(&mut port);
+            sock.take_events()
+        };
+        self.publish(events);
     }
 
     /// Half-closes the sending direction; queued data still drains.

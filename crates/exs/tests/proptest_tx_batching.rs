@@ -1,0 +1,295 @@
+//! Property test for the batched transmit pipeline: random flush
+//! points, message sizes spanning the coalesce threshold, and random
+//! receiver pacing (which drives the dynamic protocol back and forth
+//! across the direct ↔ indirect phase switch) must never reorder or
+//! drop stream bytes.
+//!
+//! Unlike `proptest_protocol` (sans-IO halves on model channels), this
+//! drives full [`StreamSocket`] pairs over the simulated fabric so the
+//! postlist staging, selective signaling and coalescing hold are all in
+//! the loop; every delivered byte is checked against its stream-offset
+//! pattern inside the receiver.
+
+use exs::{ExsConfig, ExsEvent, ProtocolMode, StreamSocket};
+use proptest::prelude::*;
+use rdma_verbs::profiles::ideal;
+use rdma_verbs::{Access, MrInfo, NodeApi, NodeApp, SimNet};
+use simnet::SimTime;
+
+/// Deterministic stream byte pattern: the byte at stream offset `i`.
+fn pattern(i: u64) -> u8 {
+    (i.wrapping_mul(197).wrapping_add(i >> 7)) as u8
+}
+
+/// Sender that issues each planned message and calls `tx_flush` after
+/// the ones flagged by the plan — the latency opt-out exercised at
+/// arbitrary points in the stream.
+struct FlushSender {
+    sock: Option<StreamSocket>,
+    /// One `(len, flush_after)` entry per message; each gets its own MR.
+    plan: Vec<(u64, bool)>,
+    slots: Vec<MrInfo>,
+    next: usize,
+    inflight: usize,
+    outstanding: usize,
+    completed: usize,
+    stream_pos: u64,
+}
+
+impl FlushSender {
+    fn new(plan: Vec<(u64, bool)>, outstanding: usize) -> Self {
+        FlushSender {
+            sock: None,
+            plan,
+            slots: Vec::new(),
+            next: 0,
+            inflight: 0,
+            outstanding,
+            completed: 0,
+            stream_pos: 0,
+        }
+    }
+
+    fn setup(&mut self, api: &mut NodeApi<'_>, sock: StreamSocket) {
+        for &(len, _) in &self.plan {
+            self.slots.push(api.register_mr(len as usize, Access::NONE));
+        }
+        self.sock = Some(sock);
+    }
+
+    fn kick(&mut self, api: &mut NodeApi<'_>) {
+        while self.inflight < self.outstanding && self.next < self.plan.len() {
+            let (len, flush) = self.plan[self.next];
+            let mr = self.slots[self.next];
+            let data: Vec<u8> = (0..len).map(|i| pattern(self.stream_pos + i)).collect();
+            api.write_mr(mr.key, mr.addr, &data).unwrap();
+            let sock = self.sock.as_mut().unwrap();
+            sock.exs_send(api, &mr, 0, len, self.next as u64);
+            if flush {
+                sock.tx_flush(api);
+            }
+            self.stream_pos += len;
+            self.inflight += 1;
+            self.next += 1;
+        }
+    }
+}
+
+impl NodeApp for FlushSender {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        self.kick(api);
+    }
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        let sock = self.sock.as_mut().unwrap();
+        sock.handle_wake(api);
+        for ev in sock.take_events() {
+            if let ExsEvent::SendComplete { id, len } = ev {
+                assert_eq!(len, self.plan[id as usize].0, "send completed short");
+                self.inflight -= 1;
+                self.completed += 1;
+            }
+        }
+        self.kick(api);
+    }
+    fn is_done(&self) -> bool {
+        self.completed == self.plan.len()
+    }
+}
+
+/// Receiver that keeps a bounded number of fixed-length receives posted
+/// and verifies every delivered byte against the stream pattern. The
+/// bound (relative to the sender's pace) is what drags the dynamic
+/// protocol between its direct and indirect phases.
+struct VerifyingReceiver {
+    sock: Option<StreamSocket>,
+    slots: Vec<MrInfo>,
+    free_slots: Vec<usize>,
+    slot_of: std::collections::HashMap<u64, usize>,
+    recv_len: u32,
+    expected_total: u64,
+    received: u64,
+    next_id: u64,
+}
+
+impl VerifyingReceiver {
+    fn new(recv_len: u32, outstanding: usize, expected_total: u64) -> Self {
+        VerifyingReceiver {
+            sock: None,
+            slots: Vec::new(),
+            free_slots: (0..outstanding).collect(),
+            slot_of: std::collections::HashMap::new(),
+            recv_len,
+            expected_total,
+            received: 0,
+            next_id: 0,
+        }
+    }
+
+    fn setup(&mut self, api: &mut NodeApi<'_>, sock: StreamSocket) {
+        for _ in 0..self.free_slots.len() {
+            self.slots
+                .push(api.register_mr(self.recv_len as usize, Access::local_remote_write()));
+        }
+        self.sock = Some(sock);
+    }
+
+    fn kick(&mut self, api: &mut NodeApi<'_>) {
+        while let Some(slot) = self.free_slots.pop() {
+            if self.received >= self.expected_total {
+                self.free_slots.push(slot);
+                break;
+            }
+            let mr = self.slots[slot];
+            let id = self.next_id;
+            self.next_id += 1;
+            self.slot_of.insert(id, slot);
+            self.sock
+                .as_mut()
+                .unwrap()
+                .exs_recv(api, &mr, 0, self.recv_len, false, id);
+        }
+    }
+
+    fn drain(&mut self, api: &mut NodeApi<'_>) {
+        self.kick(api);
+        loop {
+            let events = self.sock.as_mut().unwrap().take_events();
+            if events.is_empty() {
+                break;
+            }
+            for ev in events {
+                if let ExsEvent::RecvComplete { id, len } = ev {
+                    let slot = self.slot_of.remove(&id).expect("slot for recv");
+                    let mr = self.slots[slot];
+                    let mut buf = vec![0u8; len as usize];
+                    api.read_mr(mr.key, mr.addr, &mut buf).unwrap();
+                    for (i, &b) in buf.iter().enumerate() {
+                        assert_eq!(
+                            b,
+                            pattern(self.received + i as u64),
+                            "stream byte reordered or dropped at offset {}",
+                            self.received + i as u64
+                        );
+                    }
+                    self.received += len as u64;
+                    self.free_slots.push(slot);
+                }
+            }
+            self.kick(api);
+        }
+    }
+}
+
+impl NodeApp for VerifyingReceiver {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        self.drain(api);
+    }
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        self.sock.as_mut().unwrap().handle_wake(api);
+        self.drain(api);
+    }
+    fn is_done(&self) -> bool {
+        self.received == self.expected_total
+    }
+}
+
+/// One randomized exchange; panics (→ proptest failure) on corruption,
+/// deadlock, or a short stream.
+fn run_case(
+    mode: ProtocolMode,
+    plan: Vec<(u64, bool)>,
+    send_outstanding: usize,
+    recv_len: u32,
+    recv_outstanding: usize,
+    seed: u64,
+) -> (u64, exs::ConnStats) {
+    let total: u64 = plan.iter().map(|&(len, _)| len).sum();
+    let profile = ideal();
+    let mut net = SimNet::new();
+    let a = net.add_node(profile.host.clone(), profile.hca.clone());
+    let b = net.add_node(profile.host.clone(), profile.hca.clone());
+    net.connect_nodes(a, b, profile.link.clone(), seed);
+
+    let cfg = ExsConfig {
+        // Small enough that random workloads cross the advert/ring
+        // boundaries, large enough to satisfy `validate`.
+        ring_capacity: 8 << 10,
+        credits: 16,
+        sq_depth: 16,
+        ..ExsConfig::with_mode(mode)
+    };
+    let (sock_a, sock_b) = StreamSocket::pair(&mut net, a, b, &cfg);
+
+    let mut sender = FlushSender::new(plan, send_outstanding);
+    let mut receiver = VerifyingReceiver::new(recv_len, recv_outstanding, total);
+    net.with_api(a, |api| sender.setup(api, sock_a));
+    net.with_api(b, |api| receiver.setup(api, sock_b));
+
+    let outcome = net.run(&mut [&mut sender, &mut receiver], SimTime::from_secs(100));
+    assert!(
+        outcome.completed,
+        "exchange stalled: sent {}/{} received {}/{}",
+        sender.completed,
+        sender.plan.len(),
+        receiver.received,
+        receiver.expected_total,
+    );
+    let stats = sender.sock.as_ref().unwrap().stats().clone();
+    (receiver.received, stats)
+}
+
+fn plan_strategy() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    // Sizes straddle the 256-byte coalesce threshold and the recv-len
+    // boundaries; the bool is a tx_flush after that message.
+    prop::collection::vec((1u64..=1200, any::<bool>()), 1..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dynamic mode: random flush points across direct ↔ indirect
+    /// phase switches preserve the exact byte stream.
+    #[test]
+    fn random_flushes_preserve_stream_dynamic(
+        plan in plan_strategy(),
+        send_outstanding in 1usize..=6,
+        recv_len in 1u32..=2048,
+        recv_outstanding in 1usize..=4,
+        seed in 0u64..1_000_000,
+    ) {
+        let total: u64 = plan.iter().map(|&(len, _)| len).sum();
+        let (received, stats) = run_case(
+            ProtocolMode::Dynamic,
+            plan,
+            send_outstanding,
+            recv_len,
+            recv_outstanding,
+            seed,
+        );
+        prop_assert_eq!(received, total);
+        prop_assert_eq!(stats.direct_bytes + stats.indirect_bytes, total);
+    }
+
+    /// BCopy mode: the same property with small-send coalescing in the
+    /// loop — flushes close coalesce runs at arbitrary points.
+    #[test]
+    fn random_flushes_preserve_stream_bcopy(
+        plan in plan_strategy(),
+        send_outstanding in 1usize..=6,
+        recv_len in 1u32..=2048,
+        recv_outstanding in 1usize..=4,
+        seed in 0u64..1_000_000,
+    ) {
+        let total: u64 = plan.iter().map(|&(len, _)| len).sum();
+        let (received, stats) = run_case(
+            ProtocolMode::BCopy,
+            plan,
+            send_outstanding,
+            recv_len,
+            recv_outstanding,
+            seed,
+        );
+        prop_assert_eq!(received, total);
+        prop_assert_eq!(stats.indirect_bytes, total);
+    }
+}

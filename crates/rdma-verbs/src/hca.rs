@@ -398,10 +398,20 @@ impl HcaCore {
     }
 
     /// Called by the driver when a non-READ send's wire transmission
-    /// finishes: frees the SQ slot and delivers the send completion.
+    /// finishes. Selective-signaling semantics: an unsignaled WQE's SQ
+    /// slot is *not* freed here — it is parked until the next signaled
+    /// completion on the same QP, which retires the whole unsignaled
+    /// run plus itself in one batch (the ULP can only learn slots are
+    /// free from a CQE, and the FIFO channel makes one CQE vouch for
+    /// everything posted before it).
     pub fn tx_finished(&mut self, qpn: QpNum, completion: Option<Cqe>, effects: &mut Vec<Effect>) {
         if let Ok(qp) = self.qp_mut(qpn) {
-            qp.release_sq_slot();
+            match completion {
+                Some(_) => {
+                    qp.release_sq_batch();
+                }
+                None => qp.defer_sq_release(),
+            }
         }
         if let Some(cqe) = completion {
             self.push_completion_for_send(qpn, cqe, effects);
@@ -905,6 +915,35 @@ mod tests {
         a.tx_finished(qa, prep.completion_at_tx, &mut fx);
         assert!(fx.is_empty());
         assert!(drain(&mut a, a_scq).is_empty());
+        // The unsignaled WQE's SQ slot stays parked until a signaled
+        // completion retires it.
+        assert_eq!(a.qp(qa).unwrap().sq_outstanding(), 1);
+        assert_eq!(a.qp(qa).unwrap().sq_deferred(), 1);
+    }
+
+    #[test]
+    fn signaled_cqe_retires_prior_unsignaled_slots_in_one_batch() {
+        let (mut a, _, qa, _, (a_scq, _), _) = pair();
+        let src = a.register_mr(8, Access::NONE);
+        // Three unsignaled sends finish transmission: slots stay held.
+        for wr_id in 1..=3 {
+            let prep = a
+                .prepare_send(qa, SendWr::send(wr_id, src.sge(0, 8)).unsignaled())
+                .unwrap();
+            let mut fx = Vec::new();
+            a.tx_finished(qa, prep.completion_at_tx, &mut fx);
+        }
+        assert_eq!(a.qp(qa).unwrap().sq_outstanding(), 3);
+        // The fourth, signaled send retires all four slots at once.
+        let prep = a.prepare_send(qa, SendWr::send(4, src.sge(0, 8))).unwrap();
+        assert_eq!(a.qp(qa).unwrap().sq_outstanding(), 4);
+        let mut fx = Vec::new();
+        a.tx_finished(qa, prep.completion_at_tx, &mut fx);
+        assert_eq!(a.qp(qa).unwrap().sq_outstanding(), 0);
+        assert_eq!(a.qp(qa).unwrap().sq_deferred(), 0);
+        let cqes = drain(&mut a, a_scq);
+        assert_eq!(cqes.len(), 1, "only the signaled WQE produced a CQE");
+        assert_eq!(cqes[0].wr_id, 4);
     }
 
     #[test]

@@ -64,6 +64,12 @@ pub struct QueuePair {
     /// Number of send WQEs posted whose wire transmission has not yet
     /// finished (bounds the SQ).
     sq_outstanding: usize,
+    /// Send WQEs whose transmission finished *unsignaled*: their SQ
+    /// slots stay occupied until the next signaled completion retires
+    /// the whole run in one batch, as a real HCA only lets the ULP
+    /// reclaim SQ entries when a CQE is generated (selective
+    /// signaling).
+    sq_deferred: usize,
     /// When the HCA's per-QP WQE processing pipeline frees up (the DES
     /// driver uses this to serialize WQE launches).
     pub(crate) hca_free_at: SimTime,
@@ -83,6 +89,7 @@ impl QueuePair {
             remote: None,
             rq: VecDeque::with_capacity(caps.max_recv_wr.min(1024)),
             sq_outstanding: 0,
+            sq_deferred: 0,
             hca_free_at: SimTime::ZERO,
             total_recv_posted: 0,
             total_send_posted: 0,
@@ -216,9 +223,39 @@ impl QueuePair {
         self.sq_outstanding = self.sq_outstanding.saturating_sub(1);
     }
 
+    /// Marks an unsignaled WQE's transmission as finished *without*
+    /// freeing its SQ slot: the slot is retired later, in one batch,
+    /// by the next signaled completion on this QP
+    /// ([`QueuePair::release_sq_batch`]).
+    pub fn defer_sq_release(&mut self) {
+        debug_assert!(
+            self.sq_deferred < self.sq_outstanding,
+            "deferring more SQ slots than are outstanding"
+        );
+        self.sq_deferred = (self.sq_deferred + 1).min(self.sq_outstanding);
+    }
+
+    /// Retires the signaled WQE's slot plus every previously deferred
+    /// unsignaled slot in one batch, returning how many slots were
+    /// freed. Sound because the RC channel is FIFO: a signaled CQE
+    /// proves all WQEs posted before it have completed.
+    pub fn release_sq_batch(&mut self) -> usize {
+        let n = self.sq_deferred + 1;
+        debug_assert!(self.sq_outstanding >= n, "SQ batch underflow");
+        self.sq_outstanding = self.sq_outstanding.saturating_sub(n);
+        self.sq_deferred = 0;
+        n
+    }
+
     /// Outstanding send WQEs.
     pub fn sq_outstanding(&self) -> usize {
         self.sq_outstanding
+    }
+
+    /// Send WQEs off the wire but still holding their SQ slot while
+    /// they await a signaled CQE.
+    pub fn sq_deferred(&self) -> usize {
+        self.sq_deferred
     }
 
     /// Lifetime receive posts.
@@ -341,6 +378,24 @@ mod tests {
         q.release_sq_slot();
         q.reserve_sq_slot().unwrap();
         assert_eq!(q.total_send_posted(), 2);
+    }
+
+    #[test]
+    fn signaled_release_retires_deferred_batch() {
+        let mut q = connected_qp();
+        for _ in 0..5 {
+            q.reserve_sq_slot().unwrap();
+        }
+        // Four unsignaled transmissions finish: their slots stay held.
+        for _ in 0..4 {
+            q.defer_sq_release();
+        }
+        assert_eq!(q.sq_outstanding(), 5);
+        assert_eq!(q.sq_deferred(), 4);
+        // The signaled completion retires all five in one batch.
+        assert_eq!(q.release_sq_batch(), 5);
+        assert_eq!(q.sq_outstanding(), 0);
+        assert_eq!(q.sq_deferred(), 0);
     }
 
     #[test]
