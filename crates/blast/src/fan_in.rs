@@ -12,13 +12,13 @@
 //! digested with FNV-1a in arrival order so different backends running
 //! the same seed can be compared byte-for-byte.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use exs::{
-    ConnId, ConnStats, ExsConfig, ExsEvent, MemPool, MrLease, PoolStats, Reactor, ReactorConfig,
-    ReactorStats, StreamSocket,
+    ConnId, ConnStats, DirectPolicy, ExsConfig, ExsEvent, MemPool, MrLease, PoolStats, Reactor,
+    ReactorConfig, ReactorStats, StreamSocket,
 };
 use rdma_verbs::{Access, HwProfile, MrInfo, NodeApi, NodeApp, NodeId, SimNet};
 use simnet::{SimDuration, SimTime};
@@ -58,12 +58,18 @@ pub fn expected_digest(seed: u64, conn: usize, total: u64) -> u64 {
 
 /// An [`ExsConfig`] sized for many concurrent connections on one node:
 /// the defaults (16 MiB ring, 1024 credits) are per-connection resource
-/// budgets a thousand-way fan-in cannot afford.
+/// budgets a thousand-way fan-in cannot afford. Adaptive direct-mode
+/// re-entry is on — a sender with ≥ 4 KiB left pauses for the server's
+/// pre-posted advert queue instead of paying the indirect memcpy.
 pub fn fan_in_cfg() -> ExsConfig {
     ExsConfig {
         ring_capacity: 64 << 10,
         credits: 16,
         sq_depth: 16,
+        direct: DirectPolicy {
+            min_direct_size: 4 << 10,
+            ..DirectPolicy::default()
+        },
         ..ExsConfig::default()
     }
 }
@@ -90,6 +96,12 @@ pub struct FanInSpec {
     pub outstanding_sends: usize,
     /// Posted receive length (0 ⇒ `msg_len`).
     pub recv_len: u32,
+    /// Receive buffers each server connection keeps posted ahead of the
+    /// data (clamped to ≥ 1). Depth > 1 is what keeps the Fig. 3 advert
+    /// gate open: when a receive completes, the next buffers are already
+    /// advertised, so the sender's next transfer decision sees a usable
+    /// ADVERT instead of falling back to the intermediate ring.
+    pub prepost_recvs: usize,
     /// Payload verification level.
     pub verify: VerifyLevel,
     /// Source buffers through registered-memory pools: clients lease a
@@ -118,6 +130,7 @@ impl FanInSpec {
             msg_len: 16 << 10,
             outstanding_sends: 2,
             recv_len: 0,
+            prepost_recvs: 4,
             verify: VerifyLevel::None,
             pooled: false,
             seed: 1,
@@ -131,6 +144,10 @@ impl FanInSpec {
         } else {
             self.msg_len.min(u32::MAX as u64) as u32
         }
+    }
+
+    fn effective_prepost(&self) -> usize {
+        self.prepost_recvs.max(1)
     }
 }
 
@@ -148,8 +165,13 @@ pub struct FanInReport {
     /// FNV-1a digest of each connection's delivered stream, in delivery
     /// order.
     pub digests: Vec<u64>,
-    /// Sum of the per-connection counters.
+    /// Sum of the per-connection counters at the server (receiver
+    /// side: copies out of the ring, receives completed, ADVERTs sent).
     pub aggregate: ConnStats,
+    /// Sum of the per-connection counters at the clients (sender side:
+    /// direct/indirect transfer split, resync attempts, ADVERTs
+    /// consumed) — the half the server-side aggregate cannot see.
+    pub aggregate_tx: ConnStats,
     /// The server reactor's event-loop counters.
     pub reactor: ReactorStats,
     /// Merged memory-pool counters (server + every client node) for a
@@ -169,9 +191,18 @@ impl FanInReport {
         }
     }
 
-    /// Direct share of all transfers into the server.
+    /// Direct share of all transfers into the server. Transfer-mode
+    /// counters live on the *sending* half, so this reads the
+    /// client-side aggregate (the server-side block used to report a
+    /// vacuous 0/0 here).
     pub fn direct_ratio(&self) -> f64 {
-        self.aggregate.direct_ratio()
+        self.aggregate_tx.direct_ratio()
+    }
+
+    /// Direct share of all bytes into the server (sender-side
+    /// counters, like [`FanInReport::direct_ratio`]).
+    pub fn direct_byte_ratio(&self) -> f64 {
+        self.aggregate_tx.direct_byte_ratio()
     }
 
     /// Serializes the whole run — aggregate counters, reactor counters,
@@ -181,15 +212,21 @@ impl FanInReport {
         let mut out = String::with_capacity(512 + self.per_conn.len() * 256);
         out.push_str(&format!(
             "{{\"conns\":{},\"bytes\":{},\"elapsed_ns\":{},\
-             \"throughput_mbps\":{:.3},\"direct_ratio\":{:.6},\"events\":{},",
+             \"throughput_mbps\":{:.3},\"direct_ratio\":{:.6},\
+             \"direct_byte_ratio\":{:.6},\"events\":{},",
             self.conns,
             self.bytes,
             self.elapsed.as_nanos(),
             self.throughput_mbps(),
             self.direct_ratio(),
+            self.direct_byte_ratio(),
             self.events,
         ));
         out.push_str(&format!("\"aggregate\":{},", self.aggregate.to_json()));
+        out.push_str(&format!(
+            "\"aggregate_tx\":{},",
+            self.aggregate_tx.to_json()
+        ));
         out.push_str(&format!("\"reactor\":{},", self.reactor.to_json()));
         if let Some(pool) = &self.pool {
             out.push_str(&format!("\"pool\":{},", pool.to_json()));
@@ -338,13 +375,20 @@ impl NodeApp for FanInClient {
 /// [`Reactor`] over shared CQs, serviced to quiescence on each wake.
 struct ReactorServer {
     reactor: Reactor,
-    mrs: Vec<MrInfo>,
+    /// Per-connection pre-posted receive slots (`prepost_recvs` buffers
+    /// each).
+    mrs: Vec<Vec<MrInfo>>,
+    /// Posted-but-uncompleted `(recv id, slot)` pairs per connection, in
+    /// posting order — receives complete FIFO, so the front is always
+    /// the completing slot.
+    posted: Vec<VecDeque<(u64, usize)>>,
+    /// Slot indices currently free to re-post, per connection.
+    free: Vec<Vec<usize>>,
     recv_len: u32,
     /// Expected bytes per connection.
     expected: u64,
     received: Vec<u64>,
     eof: Vec<bool>,
-    outstanding: Vec<bool>,
     digests: Vec<u64>,
     verify: VerifyLevel,
     seed: u64,
@@ -354,18 +398,22 @@ struct ReactorServer {
 }
 
 impl ReactorServer {
-    /// Consumes one ready connection's events and re-posts its receive.
-    /// Returns true if anything was consumed or posted (progress).
+    /// Consumes one ready connection's events and refills its
+    /// pre-posted receive queue to full depth. Returns true if anything
+    /// was consumed or posted (progress).
     fn handle_conn(&mut self, api: &mut NodeApi<'_>, conn: ConnId) -> bool {
         let idx = conn.0 as usize;
         let events = self.reactor.take_events(conn);
         let mut progressed = !events.is_empty();
         for ev in events {
             match ev {
-                ExsEvent::RecvComplete { len, .. } => {
-                    self.outstanding[idx] = false;
+                ExsEvent::RecvComplete { id, len } => {
+                    let (pid, slot) = self.posted[idx]
+                        .pop_front()
+                        .expect("completion without a posted receive");
+                    assert_eq!(pid, id, "receives must complete in posting order");
                     if len > 0 {
-                        let mr = self.mrs[idx];
+                        let mr = self.mrs[idx][slot];
                         self.scratch.resize(len as usize, 0);
                         api.read_mr(mr.key, mr.addr, &mut self.scratch).unwrap();
                         if self.verify == VerifyLevel::Full {
@@ -381,20 +429,28 @@ impl ReactorServer {
                         self.digests[idx] = fnv1a(self.digests[idx], &self.scratch);
                         self.received[idx] += len as u64;
                     }
+                    self.free[idx].push(slot);
                 }
                 ExsEvent::PeerClosed => self.eof[idx] = true,
                 ExsEvent::ConnectionError => panic!("fan-in server conn {idx} failed"),
                 ExsEvent::SendComplete { .. } => {}
             }
         }
-        if !self.eof[idx] && !self.outstanding[idx] && self.received[idx] < self.expected {
-            let mr = self.mrs[idx];
+        // Refill to depth: every freed slot goes straight back out while
+        // the stream still owes bytes, so the advert queue never drains
+        // below depth at the sender's next decision point. Receives left
+        // over at end-of-stream complete with zero bytes.
+        while !self.eof[idx] && self.received[idx] < self.expected {
+            let Some(slot) = self.free[idx].pop() else {
+                break;
+            };
+            let mr = self.mrs[idx][slot];
             let id = self.next_id;
             self.next_id += 1;
             self.reactor
                 .conn_mut(conn)
                 .exs_recv(api, &mr, 0, self.recv_len, false, id);
-            self.outstanding[idx] = true;
+            self.posted[idx].push_back((id, slot));
             progressed = true;
         }
         progressed
@@ -448,6 +504,7 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
     assert!(spec.conns >= 1, "need at least one connection");
     let expected = spec.msgs_per_conn as u64 * spec.msg_len;
     let recv_len = spec.effective_recv_len();
+    let prepost = spec.effective_prepost();
 
     let mut net = SimNet::new();
     net.set_host_seed(
@@ -527,27 +584,31 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
             pos: 0,
             shutdown: false,
         });
-        server_mrs.push(match &server_pool {
-            Some(pool) => net.with_api(server_node, |api| {
-                let lease = pool.acquire(api, recv_len as usize, Access::local_remote_write());
-                let info = *lease.info();
-                server_leases.push(lease);
-                info
-            }),
-            None => net.with_api(server_node, |api| {
-                api.register_mr(recv_len as usize, Access::local_remote_write())
-            }),
-        });
+        let slots: Vec<MrInfo> = (0..prepost)
+            .map(|_| match &server_pool {
+                Some(pool) => net.with_api(server_node, |api| {
+                    let lease = pool.acquire(api, recv_len as usize, Access::local_remote_write());
+                    let info = *lease.info();
+                    server_leases.push(lease);
+                    info
+                }),
+                None => net.with_api(server_node, |api| {
+                    api.register_mr(recv_len as usize, Access::local_remote_write())
+                }),
+            })
+            .collect();
+        server_mrs.push(slots);
     }
 
     let mut server = ReactorServer {
         reactor,
         mrs: server_mrs,
+        posted: (0..spec.conns).map(|_| VecDeque::new()).collect(),
+        free: (0..spec.conns).map(|_| (0..prepost).collect()).collect(),
         recv_len,
         expected,
         received: vec![0; spec.conns],
         eof: vec![false; spec.conns],
-        outstanding: vec![false; spec.conns],
         digests: vec![FNV_OFFSET; spec.conns],
         verify: spec.verify,
         seed: spec.seed,
@@ -595,6 +656,28 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
         "every stream fully delivered"
     );
 
+    // Sender-side counters live in the client sockets — fold the CQ
+    // gauges in and merge them so direct/indirect accounting is
+    // auditable end to end (the server-side aggregate only ever sees
+    // the receive half).
+    let mut aggregate_tx = ConnStats::default();
+    for (i, c) in clients.iter_mut().enumerate() {
+        let cnode = client_nodes[i];
+        net.with_api(cnode, |api| {
+            for cs in c.conns.iter_mut() {
+                cs.sock.sync_cq_stats(api);
+            }
+        });
+        for cs in c.conns.iter() {
+            aggregate_tx.merge(cs.sock.stats());
+        }
+    }
+    assert_eq!(
+        aggregate_tx.bytes_sent,
+        expected * spec.conns as u64,
+        "every stream fully sent"
+    );
+
     let pool = server_pool.map(|sp| {
         let mut total = sp.stats();
         for c in &clients {
@@ -613,6 +696,7 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
         per_conn,
         digests: server.digests,
         aggregate,
+        aggregate_tx,
         reactor: reactor_stats,
         pool,
         events: outcome.events,
@@ -677,10 +761,13 @@ mod tests {
             .clone()
             .expect("pooled run reports pool counters");
         // Each client's lease cycle: outstanding_sends buffers miss
-        // once, every later message hits the pin-down cache.
+        // once, every later message hits the pin-down cache. The server
+        // holds conns × prepost_recvs receive leases for the whole run.
         assert!(pool.hits > 0, "no cache reuse: {pool:?}");
+        let client_misses = 4 * base.outstanding_sends as u64;
+        let server_leases = 4 * base.effective_prepost() as u64;
         assert!(
-            pool.registrations < (4 * 4) as u64 + 4,
+            pool.registrations <= client_misses + server_leases,
             "pool registered nearly per-message: {pool:?}"
         );
         assert!(pooled.to_json().contains("\"pool\":{"));

@@ -57,6 +57,65 @@ pub enum WwiMode {
     WritePlusSend,
 }
 
+/// Sender-side policy for *adaptive direct-mode re-entry*
+/// (`ExsConfig::direct`).
+///
+/// Fig. 2's matching algorithm falls back to the intermediate buffer
+/// whenever no usable ADVERT is queued — so a sender that streams
+/// continuously never gives the Fig. 4–5 resynchronization a chance to
+/// happen and every byte pays the indirect memcpy. This policy lets the
+/// sender *pause* a large send instead of going indirect, betting one
+/// round-trip that the receiver's pre-posted receive queue will deliver
+/// a fresh ADVERT (see `DESIGN.md` §13). All fields default to the
+/// conservative zero values; `min_direct_size == 0` disables the policy
+/// entirely, which is the legacy behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirectPolicy {
+    /// Smallest send (remaining bytes) worth pausing for a resync
+    /// round-trip. `0` disables adaptive re-entry entirely: the sender
+    /// never waits for an ADVERT while the intermediate buffer has room
+    /// (the legacy behaviour, and the default).
+    pub min_direct_size: u64,
+    /// While in an indirect phase, pause only when at most this many
+    /// un-ACKed bytes sit in the intermediate buffer — a deep backlog
+    /// means the receiver is behind and the resync bet would stall the
+    /// stream. `0` ⇒ the peer's ring capacity (backlog never vetoes the
+    /// pause; the wait simply rides the drain).
+    pub resync_backlog: u64,
+    /// Consecutive failed waits (ring fully drained and ACKed, still no
+    /// usable ADVERT) tolerated before the sender latches back to pure
+    /// indirect sending until the next successful direct transfer —
+    /// the hysteresis that keeps bursty small-message workloads from
+    /// thrashing mode switches. `0` ⇒ 2.
+    pub max_resync_rtts: u32,
+}
+
+impl DirectPolicy {
+    /// True when adaptive re-entry is switched on.
+    pub fn enabled(&self) -> bool {
+        self.min_direct_size > 0
+    }
+
+    /// Effective backlog veto threshold for a peer ring of the given
+    /// capacity (0 ⇒ the full capacity).
+    pub fn effective_resync_backlog(&self, ring_capacity: u64) -> u64 {
+        if self.resync_backlog == 0 {
+            ring_capacity
+        } else {
+            self.resync_backlog
+        }
+    }
+
+    /// Effective failed-wait budget (0 ⇒ 2).
+    pub fn effective_max_resync_rtts(&self) -> u32 {
+        if self.max_resync_rtts == 0 {
+            2
+        } else {
+            self.max_resync_rtts
+        }
+    }
+}
+
 /// Tunables for one EXS connection.
 #[derive(Clone, Debug)]
 pub struct ExsConfig {
@@ -103,6 +162,9 @@ pub struct ExsConfig {
     /// slab class) for endpoints that stage user data through a
     /// [`crate::mempool::MemPool`] on this connection's node.
     pub pool: MemPoolConfig,
+    /// Adaptive direct-mode re-entry policy for the sender half
+    /// (disabled by default — see [`DirectPolicy`]).
+    pub direct: DirectPolicy,
 }
 
 impl Default for ExsConfig {
@@ -120,6 +182,7 @@ impl Default for ExsConfig {
             signal_interval: 0,
             coalesce_threshold: 256,
             pool: MemPoolConfig::default(),
+            direct: DirectPolicy::default(),
         }
     }
 }
@@ -306,6 +369,29 @@ mod tests {
         };
         assert_eq!(shallow.effective_tx_batch_limit(), 8);
         assert_eq!(shallow.effective_signal_interval(), 2);
+    }
+
+    #[test]
+    fn direct_policy_defaults_off_and_effective_values() {
+        let c = ExsConfig::default();
+        assert!(!c.direct.enabled(), "adaptive re-entry must default off");
+        assert_eq!(c.direct, DirectPolicy::default());
+
+        let p = DirectPolicy {
+            min_direct_size: 4096,
+            ..DirectPolicy::default()
+        };
+        assert!(p.enabled());
+        assert_eq!(p.effective_resync_backlog(1 << 16), 1 << 16);
+        assert_eq!(p.effective_max_resync_rtts(), 2);
+
+        let p = DirectPolicy {
+            min_direct_size: 4096,
+            resync_backlog: 512,
+            max_resync_rtts: 5,
+        };
+        assert_eq!(p.effective_resync_backlog(1 << 16), 512);
+        assert_eq!(p.effective_max_resync_rtts(), 5);
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod threaded;
 mod txpipe;
 
 pub use api::{Event, ExsContext, ExsFd, MsgFlags, QueuedEvent, SockType};
-pub use config::{ConfigError, ExsConfig, ProtocolMode, WwiMode};
+pub use config::{ConfigError, DirectPolicy, ExsConfig, ProtocolMode, WwiMode};
 pub use mempool::{MemPool, MemPoolConfig, MrLease};
 pub use messages::{Advert, Ctrl, CtrlMsg, TransferKind};
 pub use phase::Phase;

@@ -28,6 +28,18 @@
 //!    shared send CQ ─┴─────────────────►├─ conn 1 queue ─ service ≤ budget
 //!                      dispatch by qpn  └─ conn N queue ─ ... (round-robin)
 //! ```
+//!
+//! **Keep receives pre-posted, or lose zero-copy.** A reactor server
+//! that posts one receive per connection and re-posts only after
+//! consuming the completion closes the Fig. 3 advert gate at every
+//! message boundary, and every stream degrades to 100% indirect. Post
+//! a queue of receives per connection (depth ≥ 2; buffers leased from
+//! [`crate::MemPool`] work well) and recycle slots as a FIFO —
+//! receives complete in posting order — so an ADVERT is already on
+//! the wire when the sender plans its next transfer. Pair it with the
+//! sender-side re-entry policy ([`crate::DirectPolicy`], the
+//! `ExsConfig::direct` knobs) to recover direct mode after indirect
+//! episodes; see DESIGN.md §13 and `blast::fan_in` for the pattern.
 
 use std::collections::{HashMap, VecDeque};
 

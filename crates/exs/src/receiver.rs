@@ -411,6 +411,11 @@ impl ReceiverHalf {
             stats.adverts_sent += 1;
             actions.push(RecvAction::SendAdvert(advert));
         }
+        // Telemetry: after a burst every queued receive is advertised, so
+        // the queue length *is* the advert-queue depth — how many
+        // pre-posted receives are keeping the Fig. 3 gate open for the
+        // sender's next transfer decision.
+        stats.sample_advert_queue(self.recvs.len() as u64);
     }
 }
 
@@ -709,6 +714,17 @@ mod tests {
         acts.clear();
         r.push_recv(op(3, 0x4000, 10, false), &mut st, &mut acts);
         assert_eq!(adverts(&acts)[0].seq, r.seq());
+    }
+
+    #[test]
+    fn advert_queue_depth_is_sampled_per_burst() {
+        let (mut r, mut st, mut acts) = half(ProtocolMode::Dynamic);
+        r.push_recv(op(1, 0x2000, 100, false), &mut st, &mut acts);
+        r.push_recv(op(2, 0x3000, 100, false), &mut st, &mut acts);
+        r.push_recv(op(3, 0x4000, 100, false), &mut st, &mut acts);
+        assert_eq!(st.advert_queue_peak, 3);
+        assert_eq!(st.advert_queue_samples, 3);
+        assert!((st.advert_queue_mean() - 2.0).abs() < 1e-12, "1, 2, 3");
     }
 
     #[test]

@@ -28,7 +28,7 @@
 use std::collections::VecDeque;
 
 use crate::buffer::SenderRing;
-use crate::config::ProtocolMode;
+use crate::config::{DirectPolicy, ProtocolMode};
 use crate::messages::Advert;
 use crate::phase::Phase;
 use crate::seq::Seq;
@@ -70,27 +70,50 @@ pub struct RemoteRing {
 /// Sender-half protocol state.
 pub struct SenderHalf {
     mode: ProtocolMode,
+    policy: DirectPolicy,
     phase: Phase,
     seq: Seq,
     adverts: VecDeque<QueuedAdvert>,
     ring: SenderRing,
     remote_ring: RemoteRing,
     max_chunk: u32,
+    /// Adaptive re-entry: a send is currently paused waiting for a
+    /// resync ADVERT instead of going indirect.
+    waiting_resync: bool,
+    /// Consecutive waits abandoned with the ring drained and no usable
+    /// ADVERT; at `policy.effective_max_resync_rtts()` the policy
+    /// latches off until the next successful direct transfer.
+    failed_waits: u32,
 }
 
 impl SenderHalf {
     /// Creates the sender half for a connection whose peer owns the given
-    /// intermediate ring.
+    /// intermediate ring, with adaptive re-entry disabled.
     pub fn new(mode: ProtocolMode, remote_ring: RemoteRing, max_chunk: u32) -> Self {
+        SenderHalf::with_policy(mode, remote_ring, max_chunk, DirectPolicy::default())
+    }
+
+    /// Creates the sender half with an explicit [`DirectPolicy`]
+    /// governing when a send pauses for a Fig. 4–5 resynchronization
+    /// rather than falling back to the intermediate buffer.
+    pub fn with_policy(
+        mode: ProtocolMode,
+        remote_ring: RemoteRing,
+        max_chunk: u32,
+        policy: DirectPolicy,
+    ) -> Self {
         assert!(max_chunk > 0, "max WWI chunk must be positive");
         SenderHalf {
             mode,
+            policy,
             phase: Phase::ZERO,
             seq: Seq::ZERO,
             adverts: VecDeque::new(),
             ring: SenderRing::new(remote_ring.capacity),
             remote_ring,
             max_chunk,
+            waiting_resync: false,
+            failed_waits: 0,
         }
     }
 
@@ -197,6 +220,13 @@ impl SenderHalf {
             }
             stats.direct_transfers += 1;
             stats.direct_bytes += len as u64;
+            // A direct transfer settles any resync bet and re-arms the
+            // adaptive-re-entry hysteresis.
+            if self.waiting_resync {
+                self.waiting_resync = false;
+                stats.resyncs_completed += 1;
+            }
+            self.failed_waits = 0;
             return Some(WwiPlan {
                 raddr,
                 rkey: a.rkey,
@@ -208,6 +238,9 @@ impl SenderHalf {
         // Fig. 2 lines 17–25: no usable ADVERT — go through the
         // intermediate buffer if allowed and there is room.
         if self.mode == ProtocolMode::DirectOnly {
+            return None;
+        }
+        if self.should_wait_for_direct(remaining, stats) {
             return None;
         }
         let want = remaining.min(self.max_chunk as u64);
@@ -229,6 +262,76 @@ impl SenderHalf {
             len: len as u32,
             indirect: true,
         })
+    }
+
+    /// True while a send is paused betting on a resync ADVERT.
+    pub fn waiting_resync(&self) -> bool {
+        self.waiting_resync
+    }
+
+    /// Adaptive direct-mode re-entry (`ExsConfig::direct`): decides
+    /// whether a send with no usable ADVERT should *pause* (return
+    /// `None` from [`SenderHalf::plan_transfer`]) rather than fall back
+    /// to the intermediate buffer.
+    ///
+    /// The bet: when the receiver runs a pre-posted receive queue, the
+    /// ring's drain-empty transition makes the Fig. 3 gate re-advertise
+    /// every queued receive, and those ADVERTs travel in the same FIFO
+    /// control flush as the final ACK — so by the time the sender
+    /// observes `in_use() == 0`, any resync ADVERT the receiver was
+    /// going to send has already been delivered. An event that leaves
+    /// the ring drained with still no usable ADVERT is therefore a
+    /// *failed* wait: resume indirect, and after
+    /// `effective_max_resync_rtts()` consecutive failures latch the
+    /// policy off until a direct transfer proves the peer is advertising
+    /// again. The pause itself only engages for sends of at least
+    /// `min_direct_size` bytes, and — while in an indirect phase — only
+    /// when the un-ACKed backlog is small enough
+    /// (`effective_resync_backlog`) that waiting rides a short drain
+    /// instead of stalling a behind receiver.
+    ///
+    /// Liveness caveat (documented in `DESIGN.md` §13): a paused send
+    /// resumes on the next control message from the peer, so the policy
+    /// assumes a receiver that keeps reading to end-of-stream — the
+    /// shape every reactor/fan-in workload here has. It is opt-in and
+    /// off by default.
+    fn should_wait_for_direct(&mut self, remaining: u64, stats: &mut ConnStats) -> bool {
+        if !self.policy.enabled() || self.mode != ProtocolMode::Dynamic {
+            return false;
+        }
+        if remaining < self.policy.min_direct_size {
+            return false;
+        }
+        if self.waiting_resync {
+            // The lost-bet signal only exists for an indirect-phase
+            // wait: ACKs and resync ADVERTs share one FIFO control
+            // flush, so a drained ring with no usable ADVERT means the
+            // receiver had nothing to advertise. In a *direct* phase a
+            // zero backlog is the steady state — an unrelated
+            // completion must not cancel the wait; the next ADVERT
+            // matches by construction.
+            if self.phase.is_indirect() && self.ring.in_use() == 0 {
+                self.waiting_resync = false;
+                self.failed_waits += 1;
+                return false;
+            }
+            return true;
+        }
+        if self.failed_waits >= self.policy.effective_max_resync_rtts() {
+            return false;
+        }
+        let worth_it = if self.phase.is_direct() {
+            // Direct phase with an empty advert queue: the next ADVERT
+            // matches by construction — always worth waiting.
+            true
+        } else {
+            self.ring.in_use() <= self.policy.effective_resync_backlog(self.ring.capacity())
+        };
+        if worth_it {
+            self.waiting_resync = true;
+            stats.resyncs_attempted += 1;
+        }
+        worth_it
     }
 }
 
@@ -451,5 +554,128 @@ mod tests {
     fn zero_remaining_panics() {
         let (mut s, mut st) = half(ProtocolMode::Dynamic);
         s.plan_transfer(0, &mut st);
+    }
+
+    fn policy_half(policy: DirectPolicy) -> (SenderHalf, ConnStats) {
+        (
+            SenderHalf::with_policy(ProtocolMode::Dynamic, ring(), 1 << 30, policy),
+            ConnStats::default(),
+        )
+    }
+
+    #[test]
+    fn policy_pauses_large_send_until_advert() {
+        let (mut s, mut st) = policy_half(DirectPolicy {
+            min_direct_size: 100,
+            ..DirectPolicy::default()
+        });
+        // Large send, direct phase, no advert: pause instead of indirect.
+        assert!(s.plan_transfer(500, &mut st).is_none());
+        assert!(s.waiting_resync());
+        assert_eq!(st.resyncs_attempted, 1);
+        assert_eq!(st.indirect_transfers, 0);
+        // The advert arrives: the paused send goes direct.
+        s.push_advert(advert(0, 0, 0x2000, 500, false), &mut st);
+        let p = s.plan_transfer(500, &mut st).unwrap();
+        assert!(!p.indirect);
+        assert!(!s.waiting_resync());
+        assert_eq!(st.resyncs_completed, 1);
+    }
+
+    #[test]
+    fn policy_ignores_small_sends() {
+        let (mut s, mut st) = policy_half(DirectPolicy {
+            min_direct_size: 100,
+            ..DirectPolicy::default()
+        });
+        let p = s.plan_transfer(99, &mut st).unwrap();
+        assert!(p.indirect, "below min_direct_size goes indirect at once");
+        assert_eq!(st.resyncs_attempted, 0);
+    }
+
+    #[test]
+    fn policy_waits_through_backlog_then_resyncs() {
+        let (mut s, mut st) = policy_half(DirectPolicy {
+            min_direct_size: 100,
+            ..DirectPolicy::default()
+        });
+        s.plan_transfer(99, &mut st).unwrap(); // small → indirect, phase 1
+        assert!(s.phase().is_indirect());
+        // Large send with 99 un-ACKed bytes: backlog default allows the
+        // pause; the wait rides the drain.
+        assert!(s.plan_transfer(500, &mut st).is_none());
+        assert!(s.waiting_resync());
+        // Receiver drains: ACK first, resync ADVERT right behind it in
+        // the same FIFO control flush.
+        s.on_ack(99, &mut st);
+        s.push_advert(advert(99, 2, 0x2000, 500, false), &mut st);
+        let p = s.plan_transfer(500, &mut st).unwrap();
+        assert!(!p.indirect);
+        assert_eq!(st.resyncs_completed, 1);
+        assert_eq!(st.mode_switches, 2);
+    }
+
+    #[test]
+    fn policy_gives_up_when_drained_without_advert_and_latches_off() {
+        let (mut s, mut st) = policy_half(DirectPolicy {
+            min_direct_size: 100,
+            max_resync_rtts: 2,
+            ..DirectPolicy::default()
+        });
+        s.plan_transfer(99, &mut st).unwrap(); // small → indirect backlog
+        for round in 0..2u32 {
+            assert!(s.plan_transfer(500, &mut st).is_none(), "round {round}");
+            s.on_ack(99, &mut st); // drained, no advert: bet lost
+            let p = s.plan_transfer(500, &mut st).unwrap();
+            assert!(p.indirect, "failed wait falls back to indirect");
+            s.on_ack(p.len as u64, &mut st);
+            let p = s.plan_transfer(99, &mut st).unwrap(); // rebuild a backlog
+            assert_eq!(p.len, 99);
+        }
+        assert_eq!(st.resyncs_attempted, 2);
+        assert_eq!(st.resyncs_completed, 0);
+        // Two consecutive failures: latched off until the next direct.
+        let p = s.plan_transfer(500, &mut st).unwrap();
+        assert!(p.indirect, "latched-off policy stops pausing");
+        assert_eq!(st.resyncs_attempted, 2);
+        // A direct transfer re-arms the policy.
+        s.on_ack(99 + p.len as u64, &mut st);
+        s.push_advert(advert(s.seq().0, 2, 0x2000, 64, false), &mut st);
+        assert!(!s.plan_transfer(64, &mut st).unwrap().indirect);
+        assert!(s.plan_transfer(500, &mut st).is_none(), "re-armed pause");
+        assert_eq!(st.resyncs_attempted, 3);
+    }
+
+    #[test]
+    fn policy_backlog_veto_keeps_streaming() {
+        let (mut s, mut st) = policy_half(DirectPolicy {
+            min_direct_size: 100,
+            resync_backlog: 50,
+            ..DirectPolicy::default()
+        });
+        s.plan_transfer(99, &mut st).unwrap(); // small → indirect, phase 1
+        let p = s.plan_transfer(500, &mut st).unwrap();
+        assert!(p.indirect, "deep backlog (99 > 50) vetoes the pause");
+        assert_eq!(st.resyncs_attempted, 0);
+        // Receiver catches up: 39 un-ACKed ≤ 50 — now the pause engages.
+        s.on_ack(560, &mut st);
+        assert!(s.plan_transfer(500, &mut st).is_none());
+        assert_eq!(st.resyncs_attempted, 1);
+    }
+
+    #[test]
+    fn policy_off_in_non_dynamic_modes() {
+        let mut s = SenderHalf::with_policy(
+            ProtocolMode::IndirectOnly,
+            ring(),
+            1 << 30,
+            DirectPolicy {
+                min_direct_size: 1,
+                ..DirectPolicy::default()
+            },
+        );
+        let mut st = ConnStats::default();
+        assert!(s.plan_transfer(500, &mut st).unwrap().indirect);
+        assert_eq!(st.resyncs_attempted, 0);
     }
 }

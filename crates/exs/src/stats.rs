@@ -25,6 +25,25 @@ pub struct ConnStats {
     pub adverts_received: u64,
     /// Stale ADVERTs discarded by the sender matching algorithm.
     pub adverts_discarded: u64,
+    /// Times the adaptive re-entry policy paused a ready send to wait
+    /// for a resync ADVERT instead of going indirect
+    /// ([`crate::config::DirectPolicy`]).
+    pub resyncs_attempted: u64,
+    /// Resync pauses that ended with a usable ADVERT accepted — the
+    /// sender re-entered a direct phase instead of paying the memcpy.
+    /// `resyncs_attempted - resyncs_completed` waits were abandoned
+    /// (ring drained with no ADVERT) and fell back to indirect.
+    pub resyncs_completed: u64,
+    /// Largest number of advertised-and-unconsumed receives outstanding
+    /// at this side's receiver half, sampled after every ADVERT burst —
+    /// the depth of the pre-posted advert queue that keeps the Fig. 3
+    /// gate open.
+    pub advert_queue_peak: u64,
+    /// Sum of the advert-queue depth samples (see `advert_queue_peak`);
+    /// divide by `advert_queue_samples` for the mean depth.
+    pub advert_queue_sum: u64,
+    /// Number of advert-queue depth samples taken.
+    pub advert_queue_samples: u64,
     /// ACK messages emitted.
     pub acks_sent: u64,
     /// ACK messages received.
@@ -105,6 +124,23 @@ impl ConnStats {
         }
     }
 
+    /// Mean advert-queue depth across samples (0 when never sampled).
+    pub fn advert_queue_mean(&self) -> f64 {
+        if self.advert_queue_samples == 0 {
+            0.0
+        } else {
+            self.advert_queue_sum as f64 / self.advert_queue_samples as f64
+        }
+    }
+
+    /// Records one advert-queue depth observation (receiver side, after
+    /// an ADVERT burst).
+    pub fn sample_advert_queue(&mut self, depth: u64) {
+        self.advert_queue_peak = self.advert_queue_peak.max(depth);
+        self.advert_queue_sum += depth;
+        self.advert_queue_samples += 1;
+    }
+
     /// Fraction of posted WQEs that completed unsignaled (CQEs saved).
     pub fn unsignaled_ratio(&self) -> f64 {
         let total = self.signaled_wqes + self.unsignaled_wqes;
@@ -126,6 +162,11 @@ impl ConnStats {
         self.adverts_sent += other.adverts_sent;
         self.adverts_received += other.adverts_received;
         self.adverts_discarded += other.adverts_discarded;
+        self.resyncs_attempted += other.resyncs_attempted;
+        self.resyncs_completed += other.resyncs_completed;
+        self.advert_queue_peak = self.advert_queue_peak.max(other.advert_queue_peak);
+        self.advert_queue_sum += other.advert_queue_sum;
+        self.advert_queue_samples += other.advert_queue_samples;
         self.acks_sent += other.acks_sent;
         self.acks_received += other.acks_received;
         self.credits_sent += other.credits_sent;
@@ -157,6 +198,8 @@ impl ConnStats {
                 "\"direct_bytes\":{},\"indirect_bytes\":{},",
                 "\"mode_switches\":{},\"adverts_sent\":{},",
                 "\"adverts_received\":{},\"adverts_discarded\":{},",
+                "\"resyncs_attempted\":{},\"resyncs_completed\":{},",
+                "\"advert_queue_peak\":{},\"advert_queue_mean\":{:.6},",
                 "\"acks_sent\":{},\"acks_received\":{},\"credits_sent\":{},",
                 "\"bytes_copied_out\":{},\"sends_completed\":{},",
                 "\"recvs_completed\":{},\"bytes_sent\":{},",
@@ -178,6 +221,10 @@ impl ConnStats {
             self.adverts_sent,
             self.adverts_received,
             self.adverts_discarded,
+            self.resyncs_attempted,
+            self.resyncs_completed,
+            self.advert_queue_peak,
+            self.advert_queue_mean(),
             self.acks_sent,
             self.acks_received,
             self.credits_sent,
@@ -433,6 +480,36 @@ mod tests {
         assert!(s.cq_overflowed, "overflow is sticky across merges");
         assert_eq!(ConnStats::default().mean_wqes_per_doorbell(), 0.0);
         assert_eq!(ConnStats::default().unsignaled_ratio(), 0.0);
+    }
+
+    #[test]
+    fn resync_and_advert_queue_telemetry() {
+        let mut s = ConnStats::default();
+        assert_eq!(s.advert_queue_mean(), 0.0);
+        s.sample_advert_queue(3);
+        s.sample_advert_queue(5);
+        s.resyncs_attempted = 4;
+        s.resyncs_completed = 3;
+        assert_eq!(s.advert_queue_peak, 5);
+        assert!((s.advert_queue_mean() - 4.0).abs() < 1e-12);
+
+        let j = s.to_json();
+        assert!(j.contains("\"resyncs_attempted\":4"));
+        assert!(j.contains("\"resyncs_completed\":3"));
+        assert!(j.contains("\"advert_queue_peak\":5"));
+        assert!(j.contains("\"advert_queue_mean\":4.000000"));
+
+        let other = ConnStats {
+            resyncs_attempted: 1,
+            advert_queue_peak: 9,
+            advert_queue_sum: 9,
+            advert_queue_samples: 1,
+            ..ConnStats::default()
+        };
+        s.merge(&other);
+        assert_eq!(s.resyncs_attempted, 5);
+        assert_eq!(s.advert_queue_peak, 9, "merge takes the max depth");
+        assert_eq!(s.advert_queue_samples, 3);
     }
 
     #[test]

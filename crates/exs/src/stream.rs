@@ -1014,7 +1014,7 @@ pub struct PreparedSocket {
 impl PreparedSocket {
     /// Finishes construction with the peer's parameters.
     pub fn complete(self, peer: SetupInfo) -> StreamSocket {
-        let sender = SenderHalf::new(
+        let sender = SenderHalf::with_policy(
             self.cfg.mode,
             RemoteRing {
                 addr: peer.ring_addr,
@@ -1022,6 +1022,7 @@ impl PreparedSocket {
                 capacity: peer.ring_capacity,
             },
             self.cfg.max_wwi_chunk,
+            self.cfg.direct,
         );
         let receiver = ReceiverHalf::new(
             self.cfg.mode,

@@ -30,7 +30,7 @@ use proptest::prelude::*;
 use exs::messages::Advert;
 use exs::receiver::{LocalRing, ReceiverHalf, RecvAction, RecvOp};
 use exs::sender::{RemoteRing, SenderHalf};
-use exs::{ConnStats, ProtocolMode};
+use exs::{ConnStats, DirectPolicy, ProtocolMode};
 
 #[derive(Clone, Debug)]
 enum Step {
@@ -54,6 +54,18 @@ fn step_strategy() -> impl Strategy<Value = Step> {
         3 => Just(Step::DeliverCtrl),
         2 => (1..4096u16, any::<bool>()).prop_map(|(len, waitall)| Step::PostRecv { len, waitall }),
     ]
+}
+
+/// Random `ExsConfig::direct` knobs, including the disabled policy
+/// (`min_direct_size == 0`) and degenerate backlog/RTT bounds.
+fn policy_strategy() -> impl Strategy<Value = DirectPolicy> {
+    (any::<bool>(), 1..4096u64, 0..=RING_CAP, 0..5u32).prop_map(|(enabled, min, backlog, rtts)| {
+        DirectPolicy {
+            min_direct_size: if enabled { min } else { 0 },
+            resync_backlog: backlog,
+            max_resync_rtts: rtts,
+        }
+    })
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -92,7 +104,11 @@ const USER_BASE: u64 = 0x100_0000;
 
 impl Model {
     fn new() -> Model {
-        let sender = SenderHalf::new(
+        Model::with_policy(DirectPolicy::default())
+    }
+
+    fn with_policy(policy: DirectPolicy) -> Model {
+        let sender = SenderHalf::with_policy(
             ProtocolMode::Dynamic,
             RemoteRing {
                 addr: 0x1000,
@@ -100,6 +116,7 @@ impl Model {
                 capacity: RING_CAP,
             },
             1 << 20,
+            policy,
         );
         let receiver = ReceiverHalf::new(
             ProtocolMode::Dynamic,
@@ -309,6 +326,53 @@ proptest! {
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         prop_assert_eq!(&mut ids, &mut sorted, "receives completed out of order");
+    }
+
+    /// The adaptive re-entry policy (`ExsConfig::direct`) only ever
+    /// *delays* a send — under arbitrary policy knobs, pre-post depths
+    /// and advert/ack timing it must never reorder, drop or duplicate
+    /// bytes, and a paused sender must always drain to quiescence
+    /// (advert accept or backlog-drained give-up, never a deadlock).
+    #[test]
+    fn resync_policy_never_reorders_or_drops(
+        policy in policy_strategy(),
+        prepost in 1..6usize,
+        steps in proptest::collection::vec(step_strategy(), 1..160),
+    ) {
+        let mut m = Model::with_policy(policy);
+        // Pre-post a queue of receives before any data moves — the
+        // reactor's pre-posted advert queue, at a random depth.
+        for _ in 0..prepost {
+            m.apply(&Step::PostRecv { len: 2048, waitall: false });
+        }
+        for step in &steps {
+            m.apply(step);
+        }
+        m.drain();
+
+        // Theorem 1 still holds with pausing in the schedule: no loss,
+        // no duplication, in order.
+        prop_assert_eq!(m.sender.seq(), m.receiver.seq(), "stream positions diverged");
+        prop_assert_eq!(m.pending_send_bytes, 0, "paused sender failed to drain");
+        prop_assert!(m.data_channel.is_empty());
+        prop_assert!(
+            !m.sender.waiting_resync(),
+            "sender still parked after quiescence"
+        );
+
+        let delivered: u64 = m.completed.iter().map(|&(_, len)| len as u64).sum();
+        prop_assert!(delivered <= m.sender.seq().0);
+        let mut ids: Vec<u64> = m.completed.iter().map(|&(id, _)| id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&mut ids, &mut sorted, "receives completed out of order");
+
+        // Telemetry bookkeeping: completions never exceed attempts, and
+        // a disabled policy records neither.
+        prop_assert!(m.stats_s.resyncs_completed <= m.stats_s.resyncs_attempted);
+        if !policy.enabled() {
+            prop_assert_eq!(m.stats_s.resyncs_attempted, 0);
+        }
     }
 
     #[test]
