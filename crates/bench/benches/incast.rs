@@ -1,0 +1,101 @@
+//! Incast honesty check — N senders blasting one receiver under the
+//! legacy FIFO link model versus the fair-share fabric model.
+//!
+//! The FIFO model gives every node pair a private serializing link, so
+//! aggregate ingress grows past the receiver NIC's line rate — a
+//! physically impossible number that silently poisons every fan-in
+//! result. The fair-share model splits the bottleneck max-min fairly,
+//! so its aggregate must sit at (or under) capacity.
+//!
+//! This harness doubles as a CI gate: it exits non-zero if the
+//! fair-share aggregate exceeds the bottleneck capacity by more than
+//! 5%, or if contention fairness (worst-sink Jain index) drops
+//! below 0.9. Snapshots land in
+//! `bench-results/incast_<N>senders_{fifo,fair}.json`.
+
+use std::path::Path;
+
+use blast::{run_fan_in, FanInSpec};
+use exs_bench::quick;
+use rdma_verbs::{profiles, FabricModel, FairShareConfig};
+
+fn main() {
+    let sender_counts = [8usize, 64, 512];
+    let (msgs, msg_len) = if quick() {
+        (3, 16 << 10)
+    } else {
+        (6, 16 << 10)
+    };
+    let out_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench-results");
+
+    println!();
+    println!("=== Incast: N senders -> one receiver, FIFO vs fair-share fabric (FDR IB) ===");
+    println!(
+        "{:>7} {:>11} {:>16} {:>10} {:>10} {:>9} {:>10}",
+        "senders", "fabric", "aggregate Mbit/s", "load", "jain", "respeeds", "events"
+    );
+
+    let mut violations = 0u32;
+    for &conns in &sender_counts {
+        for fair in [false, true] {
+            let fabric = if fair {
+                FabricModel::FairShare(FairShareConfig::new(0xFA1B))
+            } else {
+                FabricModel::Fifo
+            };
+            let spec = FanInSpec {
+                msgs_per_conn: msgs,
+                msg_len,
+                seed: 5,
+                fabric,
+                ..FanInSpec::new(profiles::fdr_infiniband(), conns)
+            };
+            let report = run_fan_in(&spec);
+            let load = report.offered_load_ratio();
+            let (jain, respeeds) = report
+                .fabric
+                .as_ref()
+                .map(|f| (f.jain_index, f.respeeds))
+                .unwrap_or((f64::NAN, 0));
+            println!(
+                "{:>7} {:>11} {:>16.1} {:>10.3} {:>10.3} {:>9} {:>10}",
+                conns,
+                spec.fabric.name(),
+                report.throughput_mbps(),
+                load,
+                jain,
+                respeeds,
+                report.events,
+            );
+            let tag = if fair { "fair" } else { "fifo" };
+            match report.write_snapshot(&out_dir, &format!("incast_{conns}senders_{tag}")) {
+                Ok(path) => println!("        snapshot: {}", path.display()),
+                Err(e) => eprintln!("        snapshot write failed: {e}"),
+            }
+            if fair {
+                if load > 1.05 {
+                    eprintln!(
+                        "VIOLATION: {conns} senders delivered {load:.3}x the bottleneck \
+                         capacity under the fair-share model"
+                    );
+                    violations += 1;
+                }
+                if jain < 0.9 {
+                    eprintln!(
+                        "VIOLATION: {conns} senders split the bottleneck unfairly \
+                         (jain {jain:.3})"
+                    );
+                    violations += 1;
+                }
+            }
+        }
+    }
+    println!();
+    println!("expected shape: FIFO aggregate sails past the 45.5 Gbit/s line rate at high");
+    println!("fan-in (load > 1.0 is physically impossible); fair-share pins load <= 1.0");
+    println!("while splitting the sink evenly (jain ~ 1.0).");
+    if violations > 0 {
+        eprintln!("{violations} capacity/fairness violation(s)");
+        std::process::exit(1);
+    }
+}

@@ -115,6 +115,8 @@ mod tests {
             receiver: exs::ConnStats::default(),
             digest: 0,
             events: 0,
+            link_bandwidth_bps: 0,
+            fabric: None,
         };
         let s = summarize(&[r], |r| r.cpu_sender * 100.0);
         assert_eq!(s.mean, 50.0);

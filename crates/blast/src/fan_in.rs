@@ -20,7 +20,9 @@ use exs::{
     ConnId, ConnStats, DirectPolicy, ExsConfig, ExsEvent, MemPool, MrLease, PoolStats, Reactor,
     ReactorConfig, ReactorStats, StreamSocket,
 };
-use rdma_verbs::{Access, HwProfile, MrInfo, NodeApi, NodeApp, NodeId, SimNet};
+use rdma_verbs::{
+    Access, FabricModel, FabricStats, HwProfile, MrInfo, NodeApi, NodeApp, NodeId, SimNet,
+};
 use simnet::{SimDuration, SimTime};
 
 use crate::runner::VerifyLevel;
@@ -113,6 +115,13 @@ pub struct FanInSpec {
     pub pooled: bool,
     /// Workload seed (host jitter, link seeds, payload pattern).
     pub seed: u64,
+    /// Bandwidth-contention model for the simulated fabric.
+    /// [`FabricModel::Fifo`] (default) gives every node pair a private
+    /// serializing link — aggregate ingress can exceed the server NIC's
+    /// line rate. [`FabricModel::FairShare`] makes concurrent flows
+    /// split NIC/core capacity max-min fairly, capping the aggregate at
+    /// the bottleneck and exposing incast contention.
+    pub fabric: FabricModel,
     /// Abort threshold for the virtual clock.
     pub time_limit: SimDuration,
 }
@@ -134,6 +143,7 @@ impl FanInSpec {
             verify: VerifyLevel::None,
             pooled: false,
             seed: 1,
+            fabric: FabricModel::Fifo,
             time_limit: SimDuration::from_secs(600),
         }
     }
@@ -177,6 +187,14 @@ pub struct FanInReport {
     /// Merged memory-pool counters (server + every client node) for a
     /// pooled run; `None` when the run registered buffers directly.
     pub pool: Option<PoolStats>,
+    /// The configured per-link bandwidth (bps) — the server NIC's line
+    /// rate, i.e. the physical ceiling on aggregate ingress. 0 on the
+    /// ideal (unlimited) profile. Capacity context for the throughput
+    /// number: without it an over-capacity result looks plausible.
+    pub link_bandwidth_bps: u64,
+    /// Fair-share fabric telemetry (per-flow achieved rates, re-speed
+    /// counts, Jain fairness index); `None` on the FIFO model.
+    pub fabric: Option<FabricStats>,
     /// Simulator events processed.
     pub events: u64,
 }
@@ -205,6 +223,19 @@ impl FanInReport {
         self.aggregate_tx.direct_byte_ratio()
     }
 
+    /// Aggregate ingress throughput as a fraction of the bottleneck
+    /// link's capacity. A value above ~1.0 is self-evidently bogus —
+    /// more payload delivered per second than the server NIC can carry
+    /// (the FIFO model produces exactly this at high fan-in). 0.0 when
+    /// the profile's bandwidth is unlimited.
+    pub fn offered_load_ratio(&self) -> f64 {
+        if self.link_bandwidth_bps == 0 {
+            0.0
+        } else {
+            self.throughput_mbps() * 1e6 / self.link_bandwidth_bps as f64
+        }
+    }
+
     /// Serializes the whole run — aggregate counters, reactor counters,
     /// and the per-connection snapshots — as one JSON object
     /// (dependency-free, like [`ConnStats::to_json`]).
@@ -212,12 +243,15 @@ impl FanInReport {
         let mut out = String::with_capacity(512 + self.per_conn.len() * 256);
         out.push_str(&format!(
             "{{\"conns\":{},\"bytes\":{},\"elapsed_ns\":{},\
-             \"throughput_mbps\":{:.3},\"direct_ratio\":{:.6},\
+             \"throughput_mbps\":{:.3},\"link_bandwidth_bps\":{},\
+             \"offered_load_ratio\":{:.6},\"direct_ratio\":{:.6},\
              \"direct_byte_ratio\":{:.6},\"events\":{},",
             self.conns,
             self.bytes,
             self.elapsed.as_nanos(),
             self.throughput_mbps(),
+            self.link_bandwidth_bps,
+            self.offered_load_ratio(),
             self.direct_ratio(),
             self.direct_byte_ratio(),
             self.events,
@@ -228,6 +262,9 @@ impl FanInReport {
             self.aggregate_tx.to_json()
         ));
         out.push_str(&format!("\"reactor\":{},", self.reactor.to_json()));
+        if let Some(fabric) = &self.fabric {
+            out.push_str(&format!("\"fabric\":{},", fabric.to_json()));
+        }
         if let Some(pool) = &self.pool {
             out.push_str(&format!("\"pool\":{},", pool.to_json()));
         }
@@ -507,6 +544,7 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
     let prepost = spec.effective_prepost();
 
     let mut net = SimNet::new();
+    net.set_fabric(spec.fabric.clone());
     net.set_host_seed(
         spec.seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -641,13 +679,36 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
             server.reactor.conn_mut(conn).sync_cq_stats(api);
         }
     });
-    let per_conn: Vec<ConnStats> = server
+    let fabric_stats = net.fabric_stats();
+    let mut per_conn: Vec<ConnStats> = server
         .reactor
         .conn_ids()
         .into_iter()
         .map(|c| server.reactor.conn(c).stats().clone())
         .collect();
-    let aggregate = server.reactor.aggregate_conn_stats();
+    let mut aggregate = server.reactor.aggregate_conn_stats();
+    if let Some(fs) = &fabric_stats {
+        // Annotate every connection with its carrying flow's telemetry
+        // (connections round-robin over client nodes; the flow is the
+        // client→server node pair).
+        for (idx, stats) in per_conn.iter_mut().enumerate() {
+            let cnode = client_nodes[idx % nclients];
+            if let Some(flow) = fs
+                .flows
+                .iter()
+                .find(|f| f.src == cnode.0 && f.dst == server_node.0)
+            {
+                stats.fabric_respeeds = flow.respeeds;
+                stats.fabric_flow_mbps = flow.achieved_mbps();
+            }
+        }
+        aggregate.fabric_respeeds = fs.respeeds;
+        aggregate.fabric_flow_mbps = fs
+            .flows
+            .iter()
+            .map(|f| f.achieved_mbps())
+            .fold(0.0, f64::max);
+    }
     let reactor_stats = server.reactor.stats().clone();
     assert_eq!(reactor_stats.orphan_cqes, 0, "no completion went unrouted");
     assert_eq!(
@@ -699,6 +760,8 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
         aggregate_tx,
         reactor: reactor_stats,
         pool,
+        link_bandwidth_bps: spec.profile.link.bandwidth_bps,
+        fabric: fabric_stats,
         events: outcome.events,
     }
 }

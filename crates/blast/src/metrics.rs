@@ -12,6 +12,7 @@
 //! critical value for the sample size.
 
 use exs::ConnStats;
+use rdma_verbs::FabricStats;
 use simnet::{SimDuration, SimTime};
 
 /// Result of one blast run.
@@ -48,6 +49,12 @@ pub struct BlastReport {
     pub digest: u64,
     /// Simulation events processed (determinism check aid).
     pub events: u64,
+    /// Configured bandwidth of the host link, in bits per second
+    /// (0 for the ideal profile's unlimited link).
+    pub link_bandwidth_bps: u64,
+    /// Fabric allocator snapshot (`None` under the FIFO model or the
+    /// thread backend, where no flow-level allocator runs).
+    pub fabric: Option<FabricStats>,
 }
 
 impl BlastReport {
@@ -76,6 +83,16 @@ impl BlastReport {
             return 0.0;
         }
         self.elapsed().as_secs_f64() * 1e6 / self.messages as f64
+    }
+
+    /// Delivered throughput as a fraction of the configured link
+    /// bandwidth (0.0 when the link is unlimited). Values above 1.0
+    /// mean the model delivered more than the physical link could.
+    pub fn offered_load_ratio(&self) -> f64 {
+        if self.link_bandwidth_bps == 0 {
+            return 0.0;
+        }
+        self.throughput_bps() / self.link_bandwidth_bps as f64
     }
 
     /// Ratio of direct transfers to total transfers.
@@ -168,6 +185,8 @@ mod tests {
             receiver: ConnStats::default(),
             digest: crate::fan_in::FNV_OFFSET,
             events: 0,
+            link_bandwidth_bps: 0,
+            fabric: None,
         }
     }
 

@@ -9,7 +9,7 @@
 //! library's direct/indirect statistics.
 
 use exs::{ExsConfig, ExsEvent, StreamSocket};
-use rdma_verbs::{Access, HwProfile, MrInfo, NodeApi, NodeApp, SimNet};
+use rdma_verbs::{Access, FabricModel, HwProfile, MrInfo, NodeApi, NodeApp, SimNet};
 use simnet::{SimDuration, SimTime};
 
 use crate::distribution::SizeDist;
@@ -59,6 +59,8 @@ pub struct BlastSpec {
     pub start_delay: Option<SimDuration>,
     /// Abort threshold for the virtual clock.
     pub time_limit: SimDuration,
+    /// Link contention model for the simulated fabric.
+    pub fabric: FabricModel,
 }
 
 impl BlastSpec {
@@ -77,6 +79,7 @@ impl BlastSpec {
             seed: 1,
             start_delay: None,
             time_limit: SimDuration::from_secs(600),
+            fabric: FabricModel::Fifo,
         }
     }
 
@@ -309,6 +312,7 @@ pub fn run_blast(spec: &BlastSpec) -> BlastReport {
     let max_msg = msgs.iter().copied().max().unwrap_or(1) as usize;
 
     let mut net = SimNet::new();
+    net.set_fabric(spec.fabric.clone());
     net.set_host_seed(
         spec.seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -413,6 +417,8 @@ pub fn run_blast(spec: &BlastSpec) -> BlastReport {
         receiver: receiver_stats,
         digest: server.digest,
         events: outcome.events,
+        link_bandwidth_bps: spec.profile.link.bandwidth_bps,
+        fabric: net.fabric_stats(),
     }
 }
 

@@ -85,6 +85,17 @@ pub struct ConnStats {
     pub cq_max_batch: u64,
     /// Polls of this endpoint's CQs that returned at least one CQE.
     pub cq_nonempty_polls: u64,
+    /// Times this connection's fabric flow re-sped (fair-share model:
+    /// another flow on a shared link arrived or left mid-transfer).
+    /// Annotated post-run from the fabric's per-flow telemetry; 0 on
+    /// the FIFO model and on the thread backend. Merging takes the max
+    /// (connections on one node share a flow; summing would
+    /// double-count).
+    pub fabric_respeeds: u64,
+    /// Achieved payload rate (Mbit/s) of the fabric flow carrying this
+    /// connection while the flow was active. Shared by every connection
+    /// on the same node pair; merging takes the max.
+    pub fabric_flow_mbps: f64,
 }
 
 impl ConnStats {
@@ -185,6 +196,8 @@ impl ConnStats {
         self.cq_overflowed |= other.cq_overflowed;
         self.cq_max_batch = self.cq_max_batch.max(other.cq_max_batch);
         self.cq_nonempty_polls += other.cq_nonempty_polls;
+        self.fabric_respeeds = self.fabric_respeeds.max(other.fabric_respeeds);
+        self.fabric_flow_mbps = self.fabric_flow_mbps.max(other.fabric_flow_mbps);
     }
 
     /// Serializes the counters (plus derived ratios) as a JSON object.
@@ -209,6 +222,7 @@ impl ConnStats {
                 "\"coalesced_msgs\":{},\"coalesced_bytes\":{},",
                 "\"cq_overflowed\":{},\"cq_max_batch\":{},",
                 "\"cq_nonempty_polls\":{},",
+                "\"fabric_respeeds\":{},\"fabric_flow_mbps\":{:.3},",
                 "\"mean_wqes_per_doorbell\":{:.6},",
                 "\"unsignaled_ratio\":{:.6},\"direct_ratio\":{:.6},",
                 "\"direct_byte_ratio\":{:.6}}}"
@@ -243,6 +257,8 @@ impl ConnStats {
             self.cq_overflowed,
             self.cq_max_batch,
             self.cq_nonempty_polls,
+            self.fabric_respeeds,
+            self.fabric_flow_mbps,
             self.mean_wqes_per_doorbell(),
             self.unsignaled_ratio(),
             self.direct_ratio(),
@@ -510,6 +526,27 @@ mod tests {
         assert_eq!(s.resyncs_attempted, 5);
         assert_eq!(s.advert_queue_peak, 9, "merge takes the max depth");
         assert_eq!(s.advert_queue_samples, 3);
+    }
+
+    #[test]
+    fn fabric_telemetry_json_and_merge_take_max() {
+        let mut s = ConnStats {
+            fabric_respeeds: 3,
+            fabric_flow_mbps: 5000.5,
+            ..ConnStats::default()
+        };
+        let j = s.to_json();
+        assert!(j.contains("\"fabric_respeeds\":3"));
+        assert!(j.contains("\"fabric_flow_mbps\":5000.500"));
+
+        let other = ConnStats {
+            fabric_respeeds: 7,
+            fabric_flow_mbps: 100.0,
+            ..ConnStats::default()
+        };
+        s.merge(&other);
+        assert_eq!(s.fabric_respeeds, 7, "shared-flow counters take the max");
+        assert_eq!(s.fabric_flow_mbps, 5000.5);
     }
 
     #[test]

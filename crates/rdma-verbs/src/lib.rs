@@ -50,6 +50,7 @@ pub use mr::{MemoryTable, MrInfo};
 pub use profiles::HwProfile;
 pub use qp::{QpCaps, QpState, QueuePair};
 pub use sim::{NodeApi, NodeApp, RunOutcome, SimNet};
+pub use simnet::fabric::{FabricModel, FabricStats, FairShareConfig, FlowStats};
 pub use threaded::{ThreadNet, ThreadNode};
 pub use types::{
     Access, CqId, Cqe, MrKey, NodeId, QpNum, RecvWr, RemoteAddr, Result, SendOpcode, SendWr, Sge,

@@ -22,8 +22,9 @@
 
 use std::collections::HashMap;
 
+use simnet::fabric::{FabricModel, FabricStats, FairShareFabric, FlowKey, Transfer};
 use simnet::trace::TraceRing;
-use simnet::{Link, LinkConfig, Scheduler, SimDuration, SimTime, Xoshiro256};
+use simnet::{EventId, Link, LinkConfig, Scheduler, SimDuration, SimTime, Xoshiro256};
 
 use crate::hca::{Effect, HcaConfig, HcaCore, PreparedSend};
 use crate::host::{CpuMeter, HostModel};
@@ -73,6 +74,79 @@ enum Ev {
         node: NodeId,
         qpn: QpNum,
     },
+    /// Fair-share mode: a message cleared its HCA pipeline and is handed
+    /// to the fabric allocator (the flow-level analogue of
+    /// `Link::transit`).
+    FabricStart {
+        token: u64,
+    },
+    /// Fair-share mode: the head transfer of flow `src → dst` moved its
+    /// last bit. Scheduled at the allocator's predicted finish time and
+    /// rescheduled whenever the flow re-speeds.
+    FlowHeadDone {
+        src: u32,
+        dst: u32,
+    },
+}
+
+/// A message parked in the fabric allocator between its `FabricStart`
+/// and its flow-head completion (fair-share mode only).
+struct PendingTx {
+    msg: WireMessage,
+    cqe: Option<Cqe>,
+    is_read: bool,
+    owns_sq_slot: bool,
+}
+
+/// Fair-share fabric state threaded through the driver. In FIFO mode
+/// (`model == FabricModel::Fifo`) everything here is inert and messages
+/// take the legacy `Link::transit` path.
+struct FabricRt {
+    model: FabricModel,
+    fair: Option<FairShareFabric>,
+    /// Messages owned by the allocator, by transfer token.
+    pending: HashMap<u64, PendingTx>,
+    next_token: u64,
+    /// The scheduled head-completion event per active flow. Entries are
+    /// removed when the event fires, so a cancel here always targets a
+    /// still-pending event (the scheduler's lazy-cancel contract).
+    head_events: HashMap<FlowKey, EventId>,
+}
+
+impl FabricRt {
+    fn fifo() -> Self {
+        FabricRt {
+            model: FabricModel::Fifo,
+            fair: None,
+            pending: HashMap::new(),
+            next_token: 0,
+            head_events: HashMap::new(),
+        }
+    }
+}
+
+/// Cancels and reschedules head-completion events after the allocator
+/// re-sped flows. `finish` can round to the past-equal instant; clamp
+/// to `now` so the scheduler's monotonic contract holds.
+fn apply_flow_changes(
+    sched: &mut Scheduler<Ev>,
+    head_events: &mut HashMap<FlowKey, EventId>,
+    now: SimTime,
+    changes: Vec<(FlowKey, SimTime)>,
+) {
+    for (key, finish) in changes {
+        if let Some(ev) = head_events.remove(&key) {
+            sched.cancel(ev);
+        }
+        let id = sched.schedule_at(
+            finish.max(now),
+            Ev::FlowHeadDone {
+                src: key.0,
+                dst: key.1,
+            },
+        );
+        head_events.insert(key, id);
+    }
 }
 
 /// RC transport retry period before a lost message fails the QP
@@ -144,6 +218,7 @@ pub struct SimNet {
     sched: Scheduler<Ev>,
     nodes: Vec<NodeRuntime>,
     links: HashMap<(u32, u32), Link>,
+    fabric: FabricRt,
     fatal: Vec<String>,
     panic_on_fatal: bool,
     host_seed: u64,
@@ -164,6 +239,7 @@ impl SimNet {
             sched: Scheduler::new(),
             nodes: Vec::new(),
             links: HashMap::new(),
+            fabric: FabricRt::fifo(),
             fatal: Vec::new(),
             panic_on_fatal: true,
             host_seed: 0x5EED,
@@ -205,6 +281,36 @@ impl SimNet {
         id
     }
 
+    /// Selects the bandwidth-contention model. Defaults to
+    /// [`FabricModel::Fifo`] (private per-pair serializing links).
+    /// [`FabricModel::FairShare`] runs every transfer through the
+    /// flow-level max-min allocator in [`simnet::fabric`] instead:
+    /// concurrent flows split NIC and core capacity and re-speed as
+    /// flows arrive and leave. Must be called before any links are
+    /// connected so capacities register against the chosen model.
+    pub fn set_fabric(&mut self, model: FabricModel) {
+        assert!(
+            self.links.is_empty(),
+            "set_fabric must precede connect_nodes"
+        );
+        self.fabric.fair = match &model {
+            FabricModel::Fifo => None,
+            FabricModel::FairShare(cfg) => Some(FairShareFabric::new(cfg.clone())),
+        };
+        self.fabric.model = model;
+    }
+
+    /// The active bandwidth-contention model.
+    pub fn fabric_model(&self) -> &FabricModel {
+        &self.fabric.model
+    }
+
+    /// Per-flow telemetry from the fair-share allocator (achieved bps,
+    /// re-speed counts, Jain fairness index). `None` in FIFO mode.
+    pub fn fabric_stats(&self) -> Option<FabricStats> {
+        self.fabric.fair.as_ref().map(|f| f.stats())
+    }
+
     /// Connects two nodes with symmetric links built from `cfg`. The
     /// jitter RNG seeds are derived from `seed` per direction.
     pub fn connect_nodes(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig, seed: u64) {
@@ -221,6 +327,10 @@ impl SimNet {
         b_to_a: LinkConfig,
         seed: u64,
     ) {
+        if let Some(fair) = &mut self.fabric.fair {
+            fair.register_link(a.0, b.0, a_to_b.bandwidth_bps);
+            fair.register_link(b.0, a.0, b_to_a.bandwidth_bps);
+        }
         self.links
             .insert((a.0, b.0), Link::new(a_to_b, seed.wrapping_mul(2)));
         self.links
@@ -301,6 +411,7 @@ impl SimNet {
             sched,
             nodes,
             links,
+            fabric,
             ..
         } = self;
         let rt = &mut nodes[node.index()];
@@ -309,6 +420,7 @@ impl SimNet {
             rt,
             links,
             sched,
+            fabric,
             cpu_now: now,
         };
         f(&mut api)
@@ -329,6 +441,7 @@ impl SimNet {
                 sched,
                 nodes,
                 links,
+                fabric,
                 ..
             } = self;
             let rt = &mut nodes[node.index()];
@@ -338,6 +451,7 @@ impl SimNet {
                 rt,
                 links,
                 sched,
+                fabric,
                 cpu_now,
             };
             app.on_start(&mut api);
@@ -419,6 +533,7 @@ impl SimNet {
                         sched,
                         nodes,
                         links,
+                        fabric,
                         ..
                     } = self;
                     let rt = &mut nodes[node.index()];
@@ -433,6 +548,7 @@ impl SimNet {
                         rt,
                         links,
                         sched,
+                        fabric,
                         cpu_now,
                     };
                     apps[node.index()].on_wake(&mut api);
@@ -442,6 +558,7 @@ impl SimNet {
                         sched,
                         nodes,
                         links,
+                        fabric,
                         ..
                     } = self;
                     let rt = &mut nodes[node.index()];
@@ -451,6 +568,7 @@ impl SimNet {
                         rt,
                         links,
                         sched,
+                        fabric,
                         cpu_now,
                     };
                     apps[node.index()].on_timer(&mut api, token);
@@ -462,6 +580,70 @@ impl SimNet {
                     if let Ok(effects) = self.nodes[node.index()].hca.fail_qp(qpn) {
                         self.apply_effects(node, effects, now);
                     }
+                }
+                Ev::FabricStart { token } => {
+                    let pending = self
+                        .fabric
+                        .pending
+                        .get(&token)
+                        .expect("FabricStart for unknown transfer");
+                    let src = pending.msg.src_node();
+                    let dst = pending.msg.dst_node();
+                    let payload = pending.msg.payload_len();
+                    let link = self
+                        .links
+                        .get_mut(&(src.0, dst.0))
+                        .unwrap_or_else(|| panic!("no link from {src:?} to {dst:?}"));
+                    // Utilisation gauges still live on the per-pair link;
+                    // timing moves to the allocator.
+                    link.account(payload);
+                    let wire_bytes = link.config().wire_bytes(payload);
+                    let fair = self.fabric.fair.as_mut().expect("fair-share mode");
+                    let changes = fair.submit(
+                        now,
+                        src.0,
+                        dst.0,
+                        Transfer {
+                            token,
+                            wire_bytes,
+                            payload_bytes: payload,
+                        },
+                    );
+                    apply_flow_changes(&mut self.sched, &mut self.fabric.head_events, now, changes);
+                }
+                Ev::FlowHeadDone { src, dst } => {
+                    self.fabric.head_events.remove(&(src, dst));
+                    let link_cfg = self
+                        .links
+                        .get(&(src, dst))
+                        .expect("flow on unknown link")
+                        .config();
+                    let (prop, jitter) = (link_cfg.propagation, link_cfg.jitter);
+                    let fair = self.fabric.fair.as_mut().expect("fair-share mode");
+                    let (transfer, arrival, changes) = fair.complete(now, src, dst, prop, jitter);
+                    let pending = self
+                        .fabric
+                        .pending
+                        .remove(&transfer.token)
+                        .expect("completed transfer has no message");
+                    let (src_node, src_qpn) = pending.msg.src;
+                    // Same RC ack model as the FIFO path: the SQ slot
+                    // retires when the responder's hardware ack returns.
+                    if pending.owns_sq_slot && !pending.is_read {
+                        let wqe_process = self.nodes[src_node.index()].hca.config().wqe_process;
+                        let acked = arrival + wqe_process + prop;
+                        self.sched.schedule_at(
+                            acked,
+                            Ev::TxDone {
+                                node: src_node,
+                                qpn: src_qpn,
+                                cqe: pending.cqe,
+                            },
+                        );
+                    }
+                    self.sched
+                        .schedule_at(arrival, Ev::Deliver { msg: pending.msg });
+                    apply_flow_changes(&mut self.sched, &mut self.fabric.head_events, now, changes);
                 }
             }
         }
@@ -481,6 +663,7 @@ impl SimNet {
                         sched,
                         nodes,
                         links,
+                        fabric,
                         ..
                     } = self;
                     let rt = &mut nodes[node.index()];
@@ -488,6 +671,7 @@ impl SimNet {
                         rt,
                         links,
                         sched,
+                        fabric,
                         PreparedSend {
                             msg,
                             completion_at_tx: None,
@@ -534,13 +718,18 @@ fn op_tag(op: &crate::wire::WireOp) -> &'static str {
     }
 }
 
-/// Pushes a prepared send through the HCA pipeline and link, scheduling
-/// transmission-done and delivery events. `owns_sq_slot` is false for
-/// HCA-originated responses, which bypass the send queue.
+/// Pushes a prepared send through the HCA pipeline and onto the fabric.
+/// In FIFO mode the message serializes on its private [`Link`] here and
+/// the delivery/ack events are scheduled directly; in fair-share mode
+/// it is handed to the flow allocator at pipeline exit (a
+/// `FabricStart` event) and the events are scheduled when its flow's
+/// head completes. `owns_sq_slot` is false for HCA-originated
+/// responses, which bypass the send queue.
 fn launch(
     rt: &mut NodeRuntime,
     links: &mut HashMap<(u32, u32), Link>,
     sched: &mut Scheduler<Ev>,
+    fabric: &mut FabricRt,
     prepared: PreparedSend,
     post_time: SimTime,
     owns_sq_slot: bool,
@@ -559,6 +748,23 @@ fn launch(
         post_time
     };
     let proc_done = start + wqe_process;
+
+    if fabric.fair.is_some() {
+        // Fair-share mode: the wire phase belongs to the allocator.
+        let token = fabric.next_token;
+        fabric.next_token += 1;
+        fabric.pending.insert(
+            token,
+            PendingTx {
+                msg: prepared.msg,
+                cqe: prepared.completion_at_tx,
+                is_read: prepared.is_read,
+                owns_sq_slot,
+            },
+        );
+        sched.schedule_at(proc_done, Ev::FabricStart { token });
+        return;
+    }
 
     let link = links
         .get_mut(&(src_node.0, dst_node.0))
@@ -592,6 +798,7 @@ pub struct NodeApi<'a> {
     rt: &'a mut NodeRuntime,
     links: &'a mut HashMap<(u32, u32), Link>,
     sched: &'a mut Scheduler<Ev>,
+    fabric: &'a mut FabricRt,
     /// This handler's CPU-time cursor: verbs posts issued through the api
     /// are stamped at this instant, which advances as work is charged.
     cpu_now: SimTime,
@@ -678,6 +885,7 @@ impl NodeApi<'_> {
             self.rt,
             self.links,
             self.sched,
+            self.fabric,
             prepared,
             self.cpu_now,
             true,
@@ -703,6 +911,7 @@ impl NodeApi<'_> {
                 self.rt,
                 self.links,
                 self.sched,
+                self.fabric,
                 prepared,
                 self.cpu_now,
                 true,
@@ -1007,6 +1216,77 @@ mod tests {
             assert_eq!(qp.sq_outstanding(), 0, "signaled CQE retires the batch");
             assert_eq!(qp.sq_deferred(), 0);
         });
+    }
+
+    #[test]
+    fn fair_share_ping_delivers_all_and_accounts_bytes() {
+        // The FIFO ping test, re-run under the fair-share fabric: same
+        // deliveries, same per-pair byte accounting, and the allocator
+        // reports one active-then-drained flow per direction used.
+        let mut net = SimNet::new();
+        net.set_fabric(FabricModel::FairShare(
+            simnet::fabric::FairShareConfig::new(7),
+        ));
+        let (a, b) = build_pair(&mut net);
+
+        let mut pinger = Pinger::new(10);
+        let mut ponger = Ponger {
+            qpn: None,
+            cq: None,
+            mr: None,
+            received: 0,
+            expect: 10,
+        };
+        let (a_qp, a_cq, a_mr) = net.with_api(a, |api| {
+            let scq = api.create_cq(64);
+            let rcq = api.create_cq(64);
+            let qp = api.create_qp(scq, rcq, QpCaps::default()).unwrap();
+            let mr = api.register_mr(64, Access::NONE);
+            (qp, scq, mr)
+        });
+        let (b_qp, b_cq, b_mr) = net.with_api(b, |api| {
+            let scq = api.create_cq(64);
+            let rcq = api.create_cq(64);
+            let qp = api.create_qp(scq, rcq, QpCaps::default()).unwrap();
+            let mr = api.register_mr(64, Access::LOCAL_WRITE);
+            (qp, rcq, mr)
+        });
+        net.with_api(a, |api| api.connect_qp(a_qp, (b, b_qp)).unwrap());
+        net.with_api(b, |api| {
+            api.connect_qp(b_qp, (a, a_qp)).unwrap();
+            for i in 0..16 {
+                let sge = Sge::new(b_mr.addr, 64, b_mr.key);
+                api.post_recv(b_qp, RecvWr::new(i, sge)).unwrap();
+            }
+        });
+        pinger.qpn = Some(a_qp);
+        pinger.cq = Some(a_cq);
+        pinger.mr = Some(a_mr);
+        ponger.qpn = Some(b_qp);
+        ponger.cq = Some(b_cq);
+        ponger.mr = Some(b_mr);
+
+        let outcome = net.run(&mut [&mut pinger, &mut ponger], SimTime::from_secs(1));
+        assert!(outcome.completed, "run did not finish: {outcome:?}");
+        assert_eq!(pinger.completions, 10);
+        assert_eq!(ponger.received, 10);
+        assert_eq!(net.link_bytes(a, b), 640, "gauges survive the fair path");
+        let stats = net.fabric_stats().expect("fair-share telemetry");
+        let fwd = stats
+            .flows
+            .iter()
+            .find(|f| f.src == a.0 && f.dst == b.0)
+            .expect("a→b flow tracked");
+        assert_eq!(fwd.bytes, 640);
+        assert_eq!(fwd.transfers, 10);
+        assert_eq!(stats.respeeds, 0, "ping-pong never has concurrent flows");
+    }
+
+    #[test]
+    fn fifo_mode_reports_no_fabric_stats() {
+        let net = SimNet::new();
+        assert!(net.fabric_stats().is_none());
+        assert_eq!(net.fabric_model(), &FabricModel::Fifo);
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //!   bandwidth, propagation delay and jitter, preserving strict FIFO
 //!   delivery (the ordering guarantee of an RDMA reliable-connected
 //!   channel),
+//! * a flow-level fair-sharing bandwidth model ([`fabric`]) where
+//!   concurrent transfers split link capacity max-min fairly across a
+//!   two-hop (NIC + oversubscribed core) topology, selected per fabric
+//!   via [`fabric::FabricModel`],
 //! * a small, fast, seedable RNG ([`rng::SplitMix64`] and
 //!   [`rng::Xoshiro256`]) so that every simulation run is reproducible
 //!   from a single `u64` seed,
@@ -25,12 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fabric;
 pub mod link;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventId, Scheduler};
+pub use fabric::{FabricModel, FabricStats, FairShareConfig, FairShareFabric, FlowStats, Transfer};
 pub use link::{Link, LinkConfig};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use time::{SimDuration, SimTime};

@@ -137,6 +137,15 @@ impl Link {
         self.tx_free_at
     }
 
+    /// Bumps the utilisation counters without serializing on the
+    /// transmitter. The fair-share fabric model owns timing for its
+    /// transfers but still reports per-pair byte counts through the
+    /// link's gauges.
+    pub fn account(&mut self, payload: u64) {
+        self.bytes_sent += payload;
+        self.messages_sent += 1;
+    }
+
     /// Total payload bytes accepted so far.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
