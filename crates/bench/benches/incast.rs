@@ -87,6 +87,32 @@ fn main() {
                     );
                     violations += 1;
                 }
+                // Merge-semantics gate: folding per-connection stats
+                // must SUM flow samples/rates (the old max-merge bug
+                // collapsed N flows into one and under-reported every
+                // fan-in aggregate).
+                let mut merged = exs::ConnStats::default();
+                for cs in &report.per_conn {
+                    merged.merge(cs);
+                }
+                if merged.fabric_flow_samples != conns as u64 {
+                    eprintln!(
+                        "VIOLATION: merged stats carry {} fabric-flow samples for \
+                         {conns} connections — merge is not summing",
+                        merged.fabric_flow_samples
+                    );
+                    violations += 1;
+                }
+                if merged.fabric_flow_mbps_sum <= 0.0
+                    || merged.fabric_flow_mbps_sum < merged.fabric_flow_mbps_max
+                {
+                    eprintln!(
+                        "VIOLATION: merged flow-rate sum {:.1} Mbit/s is not a sum \
+                         (max single flow {:.1})",
+                        merged.fabric_flow_mbps_sum, merged.fabric_flow_mbps_max
+                    );
+                    violations += 1;
+                }
             }
         }
     }

@@ -89,7 +89,8 @@ fn bench_sender_matching(c: &mut Criterion) {
                             waitall: false,
                         },
                         &mut stats,
-                    );
+                    )
+                    .unwrap();
                     seq += 8_192;
                 }
                 (half, stats)

@@ -17,8 +17,8 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use exs::{
-    ConnId, ConnStats, DirectPolicy, ExsConfig, ExsEvent, MemPool, MrLease, PoolStats, Reactor,
-    ReactorConfig, ReactorStats, StreamSocket,
+    connect_mux_pair, ConnId, ConnStats, DirectPolicy, ExsConfig, ExsEvent, MemPool, MrLease,
+    MuxEndpoint, MuxEvent, MuxId, PoolStats, Reactor, ReactorConfig, ReactorStats, StreamSocket,
 };
 use rdma_verbs::{
     Access, FabricModel, FabricStats, HwProfile, MrInfo, NodeApi, NodeApp, NodeId, SimNet,
@@ -113,6 +113,13 @@ pub struct FanInSpec {
     /// held for the whole run. Delivered bytes are identical either
     /// way; only registration traffic and CPU cost differ.
     pub pooled: bool,
+    /// Shared-transport mode: instead of one private QP per connection,
+    /// every connection becomes a **stream** on a pooled-QP
+    /// [`MuxEndpoint`] pair per client node (`cfg.mux.qp_pool_size` QPs
+    /// each, stream ids in the WWI immediate). Delivered bytes and
+    /// digests are identical to the QP-per-connection path; only the
+    /// transport resource model changes. Ignores `pooled`.
+    pub mux: bool,
     /// Workload seed (host jitter, link seeds, payload pattern).
     pub seed: u64,
     /// Bandwidth-contention model for the simulated fabric.
@@ -142,6 +149,7 @@ impl FanInSpec {
             prepost_recvs: 4,
             verify: VerifyLevel::None,
             pooled: false,
+            mux: false,
             seed: 1,
             fabric: FabricModel::Fifo,
             time_limit: SimDuration::from_secs(600),
@@ -195,6 +203,17 @@ pub struct FanInReport {
     /// Fair-share fabric telemetry (per-flow achieved rates, re-speed
     /// counts, Jain fairness index); `None` on the FIFO model.
     pub fabric: Option<FabricStats>,
+    /// Wall-clock time spent on connection establishment (QP creation,
+    /// MR registration, parameter exchange) before the timed transfer —
+    /// the setup-latency axis of the QP-per-stream vs pooled comparison.
+    pub setup_wall: std::time::Duration,
+    /// Server-side modeled pinned/context memory in mux mode, captured
+    /// at full stream fan-out (every stream open, every pool transport
+    /// established); `None` on the QP-per-connection path.
+    pub mux_footprint: Option<u64>,
+    /// The same memory model applied to a QP-per-stream baseline
+    /// carrying this run's stream count; `None` outside mux mode.
+    pub mux_baseline: Option<u64>,
     /// Simulator events processed.
     pub events: u64,
 }
@@ -236,6 +255,13 @@ impl FanInReport {
         }
     }
 
+    /// Modeled pinned/context bytes per stream in mux mode (`None`
+    /// elsewhere): the acceptance gate divides this against
+    /// [`FanInReport::mux_baseline`]`/conns`.
+    pub fn memory_per_stream(&self) -> Option<u64> {
+        self.mux_footprint.map(|f| f / self.conns.max(1) as u64)
+    }
+
     /// Serializes the whole run — aggregate counters, reactor counters,
     /// and the per-connection snapshots — as one JSON object
     /// (dependency-free, like [`ConnStats::to_json`]).
@@ -245,7 +271,7 @@ impl FanInReport {
             "{{\"conns\":{},\"bytes\":{},\"elapsed_ns\":{},\
              \"throughput_mbps\":{:.3},\"link_bandwidth_bps\":{},\
              \"offered_load_ratio\":{:.6},\"direct_ratio\":{:.6},\
-             \"direct_byte_ratio\":{:.6},\"events\":{},",
+             \"direct_byte_ratio\":{:.6},\"setup_wall_us\":{},\"events\":{},",
             self.conns,
             self.bytes,
             self.elapsed.as_nanos(),
@@ -254,8 +280,18 @@ impl FanInReport {
             self.offered_load_ratio(),
             self.direct_ratio(),
             self.direct_byte_ratio(),
+            self.setup_wall.as_micros(),
             self.events,
         ));
+        if let (Some(fp), Some(base)) = (self.mux_footprint, self.mux_baseline) {
+            out.push_str(&format!(
+                "\"mux_footprint\":{},\"mux_baseline\":{},\
+                 \"memory_per_stream\":{},",
+                fp,
+                base,
+                self.memory_per_stream().unwrap_or(0),
+            ));
+        }
         out.push_str(&format!("\"aggregate\":{},", self.aggregate.to_json()));
         out.push_str(&format!(
             "\"aggregate_tx\":{},",
@@ -538,6 +574,9 @@ impl NodeApp for ReactorServer {
 /// Panics on deadlock/timeout, payload corruption (with
 /// [`VerifyLevel::Full`]), or any connection error — all protocol bugs.
 pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
+    if spec.mux {
+        return run_fan_in_mux(spec);
+    }
     assert!(spec.conns >= 1, "need at least one connection");
     let expected = spec.msgs_per_conn as u64 * spec.msg_len;
     let recv_len = spec.effective_recv_len();
@@ -565,6 +604,7 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
     }
 
     // Shared CQs sized for every connection's worst case.
+    let setup_start = std::time::Instant::now();
     let per_conn_cq = spec.cfg.sq_depth * 2 + spec.cfg.credits as usize * 2;
     let (send_cq, recv_cq) = net.with_api(server_node, |api| {
         (
@@ -637,6 +677,7 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
             .collect();
         server_mrs.push(slots);
     }
+    let setup_wall = setup_start.elapsed();
 
     let mut server = ReactorServer {
         reactor,
@@ -699,15 +740,13 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
                 .find(|f| f.src == cnode.0 && f.dst == server_node.0)
             {
                 stats.fabric_respeeds = flow.respeeds;
-                stats.fabric_flow_mbps = flow.achieved_mbps();
+                stats.record_fabric_flow(flow.achieved_mbps());
             }
         }
         aggregate.fabric_respeeds = fs.respeeds;
-        aggregate.fabric_flow_mbps = fs
-            .flows
-            .iter()
-            .map(|f| f.achieved_mbps())
-            .fold(0.0, f64::max);
+        for flow in fs.flows.iter() {
+            aggregate.record_fabric_flow(flow.achieved_mbps());
+        }
     }
     let reactor_stats = server.reactor.stats().clone();
     assert_eq!(reactor_stats.orphan_cqes, 0, "no completion went unrouted");
@@ -762,6 +801,458 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
         pool,
         link_bandwidth_bps: spec.profile.link.bandwidth_bps,
         fabric: fabric_stats,
+        setup_wall,
+        mux_footprint: None,
+        mux_baseline: None,
+        events: outcome.events,
+    }
+}
+
+/// One stream of a mux-mode client: the same send-slot cycle as
+/// [`ConnState`], minus the private socket — data rides the node's
+/// shared [`MuxEndpoint`].
+struct MuxConnState {
+    /// Stream id on the endpoint == global connection index.
+    idx: usize,
+    slots: Vec<MrInfo>,
+    free: Vec<usize>,
+    slot_of: HashMap<u64, usize>,
+    sent: usize,
+    acked: usize,
+    pos: u64,
+    closed: bool,
+}
+
+/// One client node in mux mode: every outbound connection is a stream
+/// on one pooled-QP endpoint, so the node drives a single `handle_wake`
+/// instead of a service loop per connection.
+struct MuxFanInClient {
+    ep: MuxEndpoint,
+    conns: Vec<MuxConnState>,
+    /// Stream id → index into `conns`.
+    by_stream: HashMap<u32, usize>,
+    msgs: usize,
+    msg_len: u64,
+    verify: VerifyLevel,
+    seed: u64,
+    scratch: Vec<u8>,
+}
+
+impl MuxFanInClient {
+    fn kick(&mut self, api: &mut NodeApi<'_>, ci: usize) {
+        let msgs = self.msgs;
+        let msg_len = self.msg_len;
+        let c = &mut self.conns[ci];
+        while c.sent < msgs {
+            let Some(slot) = c.free.pop() else {
+                break;
+            };
+            let id = c.sent as u64;
+            c.slot_of.insert(id, slot);
+            let mr = c.slots[slot];
+            if self.verify == VerifyLevel::Full {
+                self.scratch.clear();
+                self.scratch
+                    .extend((0..msg_len).map(|i| payload_byte(self.seed, c.idx, c.pos + i)));
+                api.write_mr(mr.key, mr.addr, &self.scratch).unwrap();
+            }
+            self.ep
+                .mux_send(api, c.idx as u32, &mr, 0, msg_len, id)
+                .expect("mux send on an open stream");
+            c.pos += msg_len;
+            c.sent += 1;
+        }
+        if c.sent == msgs && c.acked == msgs && !c.closed {
+            self.ep.close_stream(api, c.idx as u32);
+            c.closed = true;
+        }
+    }
+}
+
+impl NodeApp for MuxFanInClient {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        for ci in 0..self.conns.len() {
+            self.kick(api, ci);
+        }
+    }
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        self.ep.handle_wake(api);
+        let mut touched = Vec::new();
+        for ev in self.ep.take_events() {
+            match ev {
+                MuxEvent::SendComplete { stream, id, .. } => {
+                    let ci = self.by_stream[&stream];
+                    let c = &mut self.conns[ci];
+                    if let Some(slot) = c.slot_of.remove(&id) {
+                        c.free.push(slot);
+                    }
+                    c.acked += 1;
+                    touched.push(ci);
+                }
+                MuxEvent::TransportError { slot } => panic!(
+                    "fan-in mux client transport slot {slot} failed: {:?}",
+                    self.ep.last_error()
+                ),
+                // The server's FIN answering ours; nothing left to do.
+                MuxEvent::StreamClosed { .. } | MuxEvent::RecvComplete { .. } => {}
+            }
+        }
+        for ci in touched {
+            self.kick(api, ci);
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.conns.iter().all(|c| c.closed)
+    }
+}
+
+/// The mux-mode server: one [`MuxEndpoint`] per client node, all hosted
+/// in the one [`Reactor`] over its shared CQ pair, with the same
+/// pre-posted receive cycle and digest fold as [`ReactorServer`] —
+/// indexed by stream id instead of connection id.
+struct MuxReactorServer {
+    reactor: Reactor,
+    mux_ids: Vec<MuxId>,
+    /// Global stream indices carried by each endpoint.
+    streams_of: Vec<Vec<usize>>,
+    mrs: Vec<Vec<MrInfo>>,
+    posted: Vec<VecDeque<(u64, usize)>>,
+    free: Vec<Vec<usize>>,
+    recv_len: u32,
+    expected: u64,
+    received: Vec<u64>,
+    eof: Vec<bool>,
+    digests: Vec<u64>,
+    verify: VerifyLevel,
+    seed: u64,
+    next_id: u64,
+    finished_at: Option<SimTime>,
+    scratch: Vec<u8>,
+}
+
+impl MuxReactorServer {
+    /// Consumes one endpoint's events and refills the pre-posted
+    /// receive queue of every stream it carries. Returns true on any
+    /// progress.
+    fn handle_mux(&mut self, api: &mut NodeApi<'_>, mi: usize) -> bool {
+        let mux = self.mux_ids[mi];
+        let events = self.reactor.take_mux_events(mux);
+        let mut progressed = !events.is_empty();
+        for ev in events {
+            match ev {
+                MuxEvent::RecvComplete { stream, id, len } => {
+                    let idx = stream as usize;
+                    let (pid, slot) = self.posted[idx]
+                        .pop_front()
+                        .expect("completion without a posted receive");
+                    assert_eq!(pid, id, "receives must complete in posting order");
+                    if len > 0 {
+                        let mr = self.mrs[idx][slot];
+                        self.scratch.resize(len as usize, 0);
+                        api.read_mr(mr.key, mr.addr, &mut self.scratch).unwrap();
+                        if self.verify == VerifyLevel::Full {
+                            for (i, &b) in self.scratch.iter().enumerate() {
+                                assert_eq!(
+                                    b,
+                                    payload_byte(self.seed, idx, self.received[idx] + i as u64),
+                                    "stream {idx} corrupted at offset {}",
+                                    self.received[idx] + i as u64
+                                );
+                            }
+                        }
+                        self.digests[idx] = fnv1a(self.digests[idx], &self.scratch);
+                        self.received[idx] += len as u64;
+                    }
+                    self.free[idx].push(slot);
+                }
+                MuxEvent::StreamClosed { stream } => {
+                    self.eof[stream as usize] = true;
+                    // Close the unused send half so the stream's state
+                    // retires without disturbing its siblings.
+                    self.reactor.mux_mut(mux).close_stream(api, stream);
+                }
+                MuxEvent::TransportError { slot } => panic!(
+                    "fan-in mux server transport {mi}/{slot} failed: {:?}",
+                    self.reactor.mux(mux).last_error()
+                ),
+                MuxEvent::SendComplete { .. } => {}
+            }
+        }
+        for si in 0..self.streams_of[mi].len() {
+            let idx = self.streams_of[mi][si];
+            while !self.eof[idx] && self.received[idx] < self.expected {
+                let Some(slot) = self.free[idx].pop() else {
+                    break;
+                };
+                let mr = self.mrs[idx][slot];
+                let id = self.next_id;
+                self.next_id += 1;
+                self.reactor
+                    .mux_mut(mux)
+                    .mux_recv(api, idx as u32, &mr, 0, self.recv_len, false, id)
+                    .expect("mux receive on an open stream");
+                self.posted[idx].push_back((id, slot));
+                progressed = true;
+            }
+        }
+        progressed
+    }
+
+    /// Polls the reactor (which services the hosted endpoints) until no
+    /// endpoint produces events or postings and no backlog remains.
+    fn service(&mut self, api: &mut NodeApi<'_>) {
+        loop {
+            let _ = self.reactor.poll(api);
+            let mut progressed = false;
+            for mi in 0..self.mux_ids.len() {
+                progressed |= self.handle_mux(api, mi);
+            }
+            if self.finished_at.is_none() && self.is_done() {
+                self.finished_at = Some(api.now());
+            }
+            if !progressed && !self.reactor.has_backlog() {
+                break;
+            }
+        }
+    }
+}
+
+impl NodeApp for MuxReactorServer {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        for mi in 0..self.mux_ids.len() {
+            self.handle_mux(api, mi);
+        }
+    }
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        self.service(api);
+    }
+    fn is_done(&self) -> bool {
+        self.eof.iter().all(|&e| e) && self.received.iter().all(|&r| r == self.expected)
+    }
+}
+
+/// Runs one fan-in experiment with connections multiplexed as streams
+/// over pooled-QP shared transports ([`FanInSpec::mux`]).
+///
+/// Connection `idx` becomes stream `idx` on the endpoint pair of client
+/// node `idx % client_nodes`; delivered bytes and digests are
+/// comparable one-to-one with [`run_fan_in`]'s QP-per-connection path.
+///
+/// # Panics
+/// Panics on deadlock/timeout, payload corruption (with
+/// [`VerifyLevel::Full`]), or any transport failure.
+pub fn run_fan_in_mux(spec: &FanInSpec) -> FanInReport {
+    assert!(spec.conns >= 1, "need at least one connection");
+    let expected = spec.msgs_per_conn as u64 * spec.msg_len;
+    let recv_len = spec.effective_recv_len();
+    let prepost = spec.effective_prepost();
+
+    let mut net = SimNet::new();
+    net.set_fabric(spec.fabric.clone());
+    net.set_host_seed(
+        spec.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(3),
+    );
+    let server_node = net.add_node(spec.profile.host.clone(), spec.profile.hca.clone());
+    let nclients = spec.client_nodes.clamp(1, spec.conns);
+    let client_nodes: Vec<NodeId> = (0..nclients)
+        .map(|_| net.add_node(spec.profile.host.clone(), spec.profile.hca.clone()))
+        .collect();
+    for (i, &c) in client_nodes.iter().enumerate() {
+        net.connect_nodes(
+            c,
+            server_node,
+            spec.profile.link.clone(),
+            spec.seed.wrapping_add(i as u64),
+        );
+    }
+
+    let setup_start = std::time::Instant::now();
+    // The reactor's CQ pair is shared by every server-side endpoint's
+    // whole pool; size it for all of them at once.
+    let cq_depth = nclients * MuxEndpoint::shared_cq_depth(&spec.cfg);
+    let (send_cq, recv_cq) = net.with_api(server_node, |api| {
+        (api.create_cq(cq_depth), api.create_cq(cq_depth))
+    });
+    let mut reactor = Reactor::new(send_cq, recv_cq, spec.reactor);
+
+    let mut clients: Vec<MuxFanInClient> = client_nodes
+        .iter()
+        .map(|&cnode| MuxFanInClient {
+            ep: MuxEndpoint::new(cnode, &spec.cfg),
+            conns: Vec::new(),
+            by_stream: HashMap::new(),
+            msgs: spec.msgs_per_conn,
+            msg_len: spec.msg_len,
+            verify: spec.verify,
+            seed: spec.seed,
+            scratch: Vec::new(),
+        })
+        .collect();
+    let mut server_eps: Vec<MuxEndpoint> = (0..nclients)
+        .map(|_| {
+            let mut ep = MuxEndpoint::new(server_node, &spec.cfg);
+            ep.set_cqs(send_cq, recv_cq);
+            ep
+        })
+        .collect();
+
+    let max_outstanding = spec.outstanding_sends.max(1);
+    let mut server_mrs: Vec<Vec<MrInfo>> = Vec::with_capacity(spec.conns);
+    let mut streams_of: Vec<Vec<usize>> = vec![Vec::new(); nclients];
+    for idx in 0..spec.conns {
+        let ci = idx % nclients;
+        clients[ci]
+            .ep
+            .open_stream(idx as u32)
+            .expect("stream id fits");
+        server_eps[ci]
+            .open_stream(idx as u32)
+            .expect("stream id fits");
+        streams_of[ci].push(idx);
+        let slots: Vec<MrInfo> = net.with_api(client_nodes[ci], |api| {
+            (0..max_outstanding)
+                .map(|_| api.register_mr(spec.msg_len as usize, Access::NONE))
+                .collect()
+        });
+        let free = (0..slots.len()).collect();
+        let ci_conns = clients[ci].conns.len();
+        clients[ci].by_stream.insert(idx as u32, ci_conns);
+        clients[ci].conns.push(MuxConnState {
+            idx,
+            slots,
+            free,
+            slot_of: HashMap::new(),
+            sent: 0,
+            acked: 0,
+            pos: 0,
+            closed: false,
+        });
+        server_mrs.push(net.with_api(server_node, |api| {
+            (0..prepost)
+                .map(|_| api.register_mr(recv_len as usize, Access::local_remote_write()))
+                .collect()
+        }));
+    }
+    let mut mux_ids = Vec::with_capacity(nclients);
+    let mut mux_footprint = 0;
+    for (c, mut sep) in clients.iter_mut().zip(server_eps.drain(..)) {
+        connect_mux_pair(&mut net, &mut c.ep, &mut sep);
+        // Capture the memory model at full fan-out: every stream open,
+        // every pool transport up (streams retire as they close).
+        mux_footprint += sep.memory_footprint();
+        mux_ids.push(reactor.accept_mux(sep));
+    }
+    let setup_wall = setup_start.elapsed();
+    let mux_baseline = MuxEndpoint::baseline_footprint(&spec.cfg, spec.conns as u64);
+
+    let mut server = MuxReactorServer {
+        reactor,
+        mux_ids,
+        streams_of,
+        mrs: server_mrs,
+        posted: (0..spec.conns).map(|_| VecDeque::new()).collect(),
+        free: (0..spec.conns).map(|_| (0..prepost).collect()).collect(),
+        recv_len,
+        expected,
+        received: vec![0; spec.conns],
+        eof: vec![false; spec.conns],
+        digests: vec![FNV_OFFSET; spec.conns],
+        verify: spec.verify,
+        seed: spec.seed,
+        next_id: 0,
+        finished_at: None,
+        scratch: Vec::new(),
+    };
+
+    let mut apps: Vec<&mut dyn NodeApp> = Vec::with_capacity(1 + nclients);
+    apps.push(&mut server);
+    for c in clients.iter_mut() {
+        apps.push(c);
+    }
+    let outcome = net.run(&mut apps, SimTime::ZERO + spec.time_limit);
+    if !outcome.completed {
+        let mut dump = String::new();
+        for (mi, &id) in server.mux_ids.iter().enumerate() {
+            dump.push_str(&format!(
+                "server ep {mi}:\n{}",
+                server.reactor.mux(id).debug_summary()
+            ));
+        }
+        for (ci, c) in clients.iter().enumerate() {
+            dump.push_str(&format!("client ep {ci}:\n{}", c.ep.debug_summary()));
+        }
+        panic!(
+            "mux fan-in deadlocked or timed out: {} of {} streams at EOF, {:?} received, \
+             ended {:?}\n{dump}",
+            server.eof.iter().filter(|&&e| e).count(),
+            spec.conns,
+            server.received.iter().sum::<u64>(),
+            outcome.end,
+        );
+    }
+
+    let end = server.finished_at.unwrap_or(outcome.end);
+    let fabric_stats = net.fabric_stats();
+    // One counter block per server-side endpoint (= per client node):
+    // the pool aggregates its streams, which is the point of the mode.
+    let mut per_conn: Vec<ConnStats> = server
+        .mux_ids
+        .iter()
+        .map(|&id| server.reactor.mux(id).stats().clone())
+        .collect();
+    let mut aggregate = server.reactor.aggregate_conn_stats();
+    if let Some(fs) = &fabric_stats {
+        for (ci, stats) in per_conn.iter_mut().enumerate() {
+            let cnode = client_nodes[ci];
+            if let Some(flow) = fs
+                .flows
+                .iter()
+                .find(|f| f.src == cnode.0 && f.dst == server_node.0)
+            {
+                stats.fabric_respeeds = flow.respeeds;
+                stats.record_fabric_flow(flow.achieved_mbps());
+            }
+        }
+        aggregate.fabric_respeeds = fs.respeeds;
+        for flow in fs.flows.iter() {
+            aggregate.record_fabric_flow(flow.achieved_mbps());
+        }
+    }
+    let reactor_stats = server.reactor.stats().clone();
+    assert_eq!(reactor_stats.orphan_cqes, 0, "no completion went unrouted");
+    assert_eq!(
+        aggregate.bytes_received,
+        expected * spec.conns as u64,
+        "every stream fully delivered"
+    );
+
+    let mut aggregate_tx = ConnStats::default();
+    for c in clients.iter() {
+        aggregate_tx.merge(c.ep.stats());
+    }
+    assert_eq!(
+        aggregate_tx.bytes_sent,
+        expected * spec.conns as u64,
+        "every stream fully sent"
+    );
+
+    FanInReport {
+        conns: spec.conns,
+        bytes: expected * spec.conns as u64,
+        elapsed: end.saturating_duration_since(SimTime::ZERO),
+        per_conn,
+        digests: server.digests,
+        aggregate,
+        aggregate_tx,
+        reactor: reactor_stats,
+        pool: None,
+        link_bandwidth_bps: spec.profile.link.bandwidth_bps,
+        fabric: fabric_stats,
+        setup_wall,
+        mux_footprint: Some(mux_footprint),
+        mux_baseline: Some(mux_baseline),
         events: outcome.events,
     }
 }
@@ -799,6 +1290,44 @@ mod tests {
         assert!(json.contains("\"per_conn\":["));
         assert!(json.contains("\"reactor\":{"));
         assert!(!json.contains("\"pool\":{"), "unpooled run reports no pool");
+    }
+
+    #[test]
+    fn mux_fan_in_matches_plain_digests_on_a_fraction_of_the_qps() {
+        let base = FanInSpec {
+            msgs_per_conn: 4,
+            msg_len: 8 << 10,
+            verify: VerifyLevel::Full,
+            client_nodes: 2,
+            ..FanInSpec::new(profiles::fdr_infiniband(), 6)
+        };
+        let mux_spec = FanInSpec {
+            mux: true,
+            ..base.clone()
+        };
+        let plain = run_fan_in(&base);
+        let mux = run_fan_in(&mux_spec);
+        // Stream identity: multiplexing changes the transport layer,
+        // never the bytes a stream carries or their order.
+        assert_eq!(plain.digests, mux.digests);
+        assert_eq!(plain.bytes, mux.bytes);
+        for (i, &d) in mux.digests.iter().enumerate() {
+            assert_eq!(d, expected_digest(base.seed, i, 4 * (8 << 10)));
+        }
+        // One counter block per pooled endpoint, not per stream.
+        assert_eq!(mux.per_conn.len(), 2);
+        assert_eq!(mux.aggregate.mux_streams_peak, 3, "3 streams per pool");
+        // 6 conns over 2 client nodes ride 2 pools of ≤ 4 QPs instead
+        // of 6 private QPs, and the memory model must show the win.
+        let footprint = mux.mux_footprint.expect("mux run models memory");
+        let baseline = mux.mux_baseline.expect("mux run models baseline");
+        assert!(
+            footprint < baseline,
+            "pooled transports must beat QP-per-conn: {footprint} vs {baseline}"
+        );
+        let json = mux.to_json();
+        assert!(json.contains("\"mux_footprint\":"));
+        assert!(json.contains("\"memory_per_stream\":"));
     }
 
     #[test]

@@ -72,12 +72,21 @@ impl SenderRing {
     }
 
     /// Applies an ACK: the receiver freed `n` bytes.
+    ///
+    /// Panics on over-release; `n` must come from locally maintained
+    /// state. ACK counts taken off the wire go through
+    /// [`SenderRing::checked_release`] instead.
     pub fn release(&mut self, n: u64) {
-        self.free = self
-            .free
-            .checked_add(n)
-            .filter(|&f| f <= self.capacity)
+        self.checked_release(n)
             .expect("ACK released more bytes than were in use");
+    }
+
+    /// Applies an ACK, rejecting peer-supplied counts that would free
+    /// more bytes than are in use (flow-control violation).
+    pub fn checked_release(&mut self, n: u64) -> Option<()> {
+        let free = self.free.checked_add(n).filter(|&f| f <= self.capacity)?;
+        self.free = free;
+        Some(())
     }
 }
 
@@ -116,12 +125,20 @@ impl ReceiverRing {
     }
 
     /// Records the arrival of an indirect transfer of `n` bytes.
+    ///
+    /// Panics on overfill; arrival counts taken off the wire go through
+    /// [`ReceiverRing::checked_arrived`] instead.
     pub fn arrived(&mut self, n: u64) {
-        self.count = self
-            .count
-            .checked_add(n)
-            .filter(|&c| c <= self.capacity)
+        self.checked_arrived(n)
             .expect("indirect transfer overfilled the intermediate buffer");
+    }
+
+    /// Records an arrival, rejecting peer-supplied lengths that would
+    /// overfill the ring (flow-control violation).
+    pub fn checked_arrived(&mut self, n: u64) -> Option<()> {
+        let count = self.count.checked_add(n).filter(|&c| c <= self.capacity)?;
+        self.count = count;
+        Some(())
     }
 
     /// The largest chunk readable *contiguously* right now:

@@ -116,6 +116,79 @@ impl DirectPolicy {
     }
 }
 
+/// How stream ids map onto the QPs of a shared-transport pool (both
+/// sides derive the slot purely from the id, so no coordination
+/// message is needed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MuxAssignment {
+    /// `id % qp_pool_size` — even spread for sequentially allocated ids.
+    #[default]
+    RoundRobin,
+    /// FNV-1a hash of the id modulo the pool size — even spread for
+    /// arbitrary (sparse, random) id schemes.
+    Hash,
+}
+
+impl MuxAssignment {
+    /// The transport slot carrying the given stream.
+    pub fn slot(self, stream: u32, pool: usize) -> usize {
+        match self {
+            MuxAssignment::RoundRobin => stream as usize % pool,
+            MuxAssignment::Hash => {
+                let mut h = 0xcbf29ce484222325u64;
+                for b in stream.to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+                (h % pool as u64) as usize
+            }
+        }
+    }
+}
+
+/// Shared-transport multiplexing tunables (`ExsConfig::mux`): many EXS
+/// streams ride a small pool of QPs per peer-node pair instead of one
+/// RC QP each — the escape from the classic RDMA scalability wall
+/// (per-QP SQ/RQ rings, CQ slots and pinned buffers growing linearly
+/// with stream count).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MuxConfig {
+    /// Whether endpoints on this config multiplex streams over a shared
+    /// pool (used by workloads that support both shapes).
+    pub enabled: bool,
+    /// QPs in the pool per peer-node pair (1..=8). Each is established
+    /// lazily, when the first stream assigned to its slot appears.
+    pub qp_pool_size: usize,
+    /// Stream-to-QP assignment policy.
+    pub assignment: MuxAssignment,
+    /// Per-stream cap on un-ACKed indirect bytes in flight through the
+    /// shared ring, so one firehose stream cannot starve its siblings.
+    /// `0` ⇒ `max(ring_capacity / 16, 4096)`.
+    pub stream_window: u64,
+}
+
+impl Default for MuxConfig {
+    fn default() -> Self {
+        MuxConfig {
+            enabled: false,
+            qp_pool_size: 4,
+            assignment: MuxAssignment::RoundRobin,
+            stream_window: 0,
+        }
+    }
+}
+
+impl MuxConfig {
+    /// Effective per-stream indirect window for the given shared ring.
+    pub fn effective_stream_window(&self, ring_capacity: u64) -> u64 {
+        if self.stream_window == 0 {
+            (ring_capacity / 16).max(4096).min(ring_capacity)
+        } else {
+            self.stream_window.min(ring_capacity)
+        }
+    }
+}
+
 /// Tunables for one EXS connection.
 #[derive(Clone, Debug)]
 pub struct ExsConfig {
@@ -165,6 +238,9 @@ pub struct ExsConfig {
     /// Adaptive direct-mode re-entry policy for the sender half
     /// (disabled by default — see [`DirectPolicy`]).
     pub direct: DirectPolicy,
+    /// Shared-transport multiplexing tunables (see [`MuxConfig`];
+    /// disabled by default — every stream gets a private QP).
+    pub mux: MuxConfig,
 }
 
 impl Default for ExsConfig {
@@ -183,6 +259,7 @@ impl Default for ExsConfig {
             coalesce_threshold: 256,
             pool: MemPoolConfig::default(),
             direct: DirectPolicy::default(),
+            mux: MuxConfig::default(),
         }
     }
 }
@@ -200,6 +277,12 @@ pub enum ConfigError {
     SqTooShallow,
     /// max_wwi_chunk must be positive and encodable in the immediate.
     BadChunkLimit,
+    /// The mux QP pool must hold between 1 and 8 QPs.
+    BadMuxPool,
+    /// Multiplexing needs native WRITE WITH IMM: the immediate carries
+    /// the stream id, which the WritePlusSend emulation cannot also
+    /// squeeze a length into.
+    MuxNeedsNativeWwi,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -209,6 +292,13 @@ impl std::fmt::Display for ConfigError {
             ConfigError::TooFewCredits => write!(f, "fewer than 4 credits"),
             ConfigError::SqTooShallow => write!(f, "sq_depth below 2"),
             ConfigError::BadChunkLimit => write!(f, "max_wwi_chunk out of range"),
+            ConfigError::BadMuxPool => write!(f, "mux qp_pool_size outside 1..=8"),
+            ConfigError::MuxNeedsNativeWwi => {
+                write!(
+                    f,
+                    "mux requires WwiMode::Native (imm carries the stream id)"
+                )
+            }
         }
     }
 }
@@ -229,6 +319,14 @@ impl ExsConfig {
         }
         if self.max_wwi_chunk == 0 || self.max_wwi_chunk > MAX_WWI_LEN {
             return Err(ConfigError::BadChunkLimit);
+        }
+        if self.mux.enabled {
+            if self.mux.qp_pool_size == 0 || self.mux.qp_pool_size > 8 {
+                return Err(ConfigError::BadMuxPool);
+            }
+            if self.wwi_mode == WwiMode::WritePlusSend {
+                return Err(ConfigError::MuxNeedsNativeWwi);
+            }
         }
         Ok(())
     }
@@ -392,6 +490,60 @@ mod tests {
         };
         assert_eq!(p.effective_resync_backlog(1 << 16), 512);
         assert_eq!(p.effective_max_resync_rtts(), 5);
+    }
+
+    #[test]
+    fn mux_config_validation_and_assignment() {
+        let c = ExsConfig::default();
+        assert!(!c.mux.enabled, "mux must default off");
+        assert_eq!(c.mux.qp_pool_size, 4);
+
+        let bad = ExsConfig {
+            mux: MuxConfig {
+                enabled: true,
+                qp_pool_size: 9,
+                ..MuxConfig::default()
+            },
+            ..ExsConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::BadMuxPool));
+        let bad = ExsConfig {
+            mux: MuxConfig {
+                enabled: true,
+                ..MuxConfig::default()
+            },
+            wwi_mode: WwiMode::WritePlusSend,
+            ..ExsConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::MuxNeedsNativeWwi));
+        let good = ExsConfig {
+            mux: MuxConfig {
+                enabled: true,
+                ..MuxConfig::default()
+            },
+            ..ExsConfig::default()
+        };
+        assert!(good.validate().is_ok());
+
+        // Both policies keep every slot inside the pool and derive it
+        // purely from the id (both ends agree with no coordination).
+        for policy in [MuxAssignment::RoundRobin, MuxAssignment::Hash] {
+            for id in 0..1000u32 {
+                assert!(policy.slot(id, 4) < 4);
+                assert_eq!(policy.slot(id, 4), policy.slot(id, 4));
+            }
+        }
+        assert_eq!(MuxAssignment::RoundRobin.slot(6, 4), 2);
+
+        // Window default scales with the ring but never exceeds it.
+        let m = MuxConfig::default();
+        assert_eq!(m.effective_stream_window(16 << 20), 1 << 20);
+        assert_eq!(m.effective_stream_window(1 << 10), 1 << 10);
+        let m = MuxConfig {
+            stream_window: 1 << 30,
+            ..MuxConfig::default()
+        };
+        assert_eq!(m.effective_stream_window(1 << 16), 1 << 16);
     }
 
     #[test]

@@ -33,9 +33,11 @@
 //! | [`receiver`] | Fig. 3–5 receiver algorithms |
 //! | [`stream`] | SOCK_STREAM sockets over a verbs QP |
 //! | [`seqpacket`] | SOCK_SEQPACKET message mode (§II-C) |
+//! | [`mux`] | many streams multiplexed over a pooled QP set |
 //! | [`api`] | ES-API-flavoured convenience layer |
 //! | [`mempool`] | pin-down cache / slab MR pools / buffer leases |
 //! | [`reactor`] | epoll-style readiness multiplexing of many streams |
+//! | [`error`] | typed peer-attributable failures |
 //! | [`stats`] | Table III counters + event-loop aggregates |
 
 #![warn(missing_docs)]
@@ -43,8 +45,10 @@
 pub mod api;
 pub mod buffer;
 pub mod config;
+pub mod error;
 pub mod mempool;
 pub mod messages;
+pub mod mux;
 pub mod phase;
 pub mod port;
 pub mod reactor;
@@ -58,12 +62,16 @@ pub mod threaded;
 mod txpipe;
 
 pub use api::{Event, ExsContext, ExsFd, MsgFlags, QueuedEvent, SockType};
-pub use config::{ConfigError, DirectPolicy, ExsConfig, ProtocolMode, WwiMode};
+pub use config::{
+    ConfigError, DirectPolicy, ExsConfig, MuxAssignment, MuxConfig, ProtocolMode, WwiMode,
+};
+pub use error::{ExsError, ProtocolError};
 pub use mempool::{MemPool, MemPoolConfig, MrLease};
-pub use messages::{Advert, Ctrl, CtrlMsg, TransferKind};
+pub use messages::{Advert, Ctrl, CtrlMsg, MuxCtrlMsg, TransferKind};
+pub use mux::{connect_mux_pair, MuxEndpoint, MuxEvent};
 pub use phase::Phase;
 pub use port::{CqPressure, VerbsPort};
-pub use reactor::{ConnId, Reactor, ReactorConfig, Readiness};
+pub use reactor::{ConnId, MuxId, Reactor, ReactorConfig, Readiness};
 pub use seq::Seq;
 pub use seqpacket::{SeqPacketEvent, SeqPacketSocket};
 pub use stats::{ConnStats, PoolStats, ReactorStats};

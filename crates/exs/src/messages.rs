@@ -92,6 +92,18 @@ const TYPE_CREDIT: u8 = 3;
 const TYPE_DATA_NOTIFY: u8 = 4;
 const TYPE_FIN: u8 = 5;
 const FLAG_WAITALL: u8 = 0b1;
+/// Flag bit marking a control message as stream-tagged (shared-transport
+/// multiplexing): the 4-byte stream id lives at offset 36.
+const FLAG_MUX: u8 = 0b10;
+
+/// Sentinel stream id for transport-scoped multiplexed control messages
+/// (shared-ring ACKs, credit returns) that belong to the transport
+/// itself rather than any one stream.
+pub const STREAM_NONE: u32 = u32::MAX;
+
+/// Largest stream id the mux immediate encoding can carry (31 bits; the
+/// top bit distinguishes direct from indirect placement).
+pub const MAX_MUX_STREAM: u32 = (1 << 31) - 1;
 
 /// Errors from decoding a control message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,6 +112,9 @@ pub enum DecodeError {
     TooShort(usize),
     /// Unknown message type byte.
     BadType(u8),
+    /// A plain control message arrived on a multiplexed transport (the
+    /// stream-tag flag is missing).
+    NotMux,
 }
 
 impl std::fmt::Display for DecodeError {
@@ -107,6 +122,7 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::TooShort(n) => write!(f, "control message too short: {n} bytes"),
             DecodeError::BadType(t) => write!(f, "unknown control message type {t}"),
+            DecodeError::NotMux => write!(f, "control message lacks the stream tag"),
         }
     }
 }
@@ -203,6 +219,69 @@ impl CtrlMsg {
             ctrl,
             credit_return,
         })
+    }
+}
+
+/// A control message carried over a shared (multiplexed) transport: the
+/// plain [`CtrlMsg`] plus the stream id it belongs to.
+///
+/// Wire layout is [`CtrlMsg::encode`]'s with two additions: flag bit 1
+/// (`FLAG_MUX`) is set and the stream id occupies the reserved bytes
+/// at offset 36. [`STREAM_NONE`] tags transport-scoped messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MuxCtrlMsg {
+    /// Stream this message belongs to ([`STREAM_NONE`] = the transport).
+    pub stream: u32,
+    /// The wrapped control message.
+    pub msg: CtrlMsg,
+}
+
+impl MuxCtrlMsg {
+    /// Serializes to the fixed wire layout.
+    pub fn encode(&self) -> [u8; CTRL_MSG_LEN] {
+        let mut buf = self.msg.encode();
+        buf[1] |= FLAG_MUX;
+        buf[36..40].copy_from_slice(&self.stream.to_le_bytes());
+        buf
+    }
+
+    /// Encodes straight into a shareable inline payload (see
+    /// [`CtrlMsg::encode_bytes`]).
+    pub fn encode_bytes(&self) -> bytes::Bytes {
+        bytes::Bytes::copy_from_slice(&self.encode())
+    }
+
+    /// Parses the fixed wire layout, requiring the stream tag.
+    pub fn decode(buf: &[u8]) -> Result<MuxCtrlMsg, DecodeError> {
+        let msg = CtrlMsg::decode(buf)?;
+        if buf[1] & FLAG_MUX == 0 {
+            return Err(DecodeError::NotMux);
+        }
+        let stream = u32::from_le_bytes(buf[36..40].try_into().expect("len checked"));
+        Ok(MuxCtrlMsg { stream, msg })
+    }
+}
+
+/// Encodes a mux data immediate: top bit = indirect, low 31 bits =
+/// stream id. The chunk length travels in the completion's `byte_len`
+/// instead (both backends report it), freeing the immediate for demux.
+pub fn encode_mux_imm(kind: TransferKind, stream: u32) -> u32 {
+    assert!(
+        stream <= MAX_MUX_STREAM,
+        "stream id {stream} exceeds imm encoding"
+    );
+    match kind {
+        TransferKind::Direct => stream,
+        TransferKind::Indirect => stream | IMM_INDIRECT_BIT,
+    }
+}
+
+/// Decodes a mux data immediate into `(kind, stream_id)`.
+pub fn decode_mux_imm(imm: u32) -> (TransferKind, u32) {
+    if imm & IMM_INDIRECT_BIT != 0 {
+        (TransferKind::Indirect, imm & !IMM_INDIRECT_BIT)
+    } else {
+        (TransferKind::Direct, imm)
     }
 }
 
@@ -361,6 +440,49 @@ mod tests {
         };
         assert_eq!(&m.encode_bytes()[..], &m.encode()[..]);
         assert_eq!(m.encode_bytes().len(), CTRL_MSG_LEN);
+    }
+
+    #[test]
+    fn mux_ctrl_roundtrip_and_flag_check() {
+        let m = MuxCtrlMsg {
+            stream: 0x00C0_FFEE,
+            msg: CtrlMsg {
+                ctrl: Ctrl::Advert(advert()),
+                credit_return: 5,
+            },
+        };
+        let buf = m.encode();
+        assert_eq!(MuxCtrlMsg::decode(&buf).unwrap(), m);
+        // The plain decoder still parses the wrapped message unchanged.
+        assert_eq!(CtrlMsg::decode(&buf).unwrap(), m.msg);
+        // A plain (untagged) message is rejected by the mux decoder.
+        let plain = m.msg.encode();
+        assert_eq!(MuxCtrlMsg::decode(&plain), Err(DecodeError::NotMux));
+        // Transport-scoped sentinel survives the trip.
+        let t = MuxCtrlMsg {
+            stream: STREAM_NONE,
+            msg: CtrlMsg {
+                ctrl: Ctrl::Ack { freed: 640 },
+                credit_return: 0,
+            },
+        };
+        assert_eq!(MuxCtrlMsg::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn mux_imm_roundtrip() {
+        for stream in [0u32, 1, 99_999, MAX_MUX_STREAM] {
+            for kind in [TransferKind::Direct, TransferKind::Indirect] {
+                let (k, s) = decode_mux_imm(encode_mux_imm(kind, stream));
+                assert_eq!((k, s), (kind, stream));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds imm encoding")]
+    fn mux_imm_overflow_panics() {
+        encode_mux_imm(TransferKind::Direct, MAX_MUX_STREAM + 1);
     }
 
     #[test]

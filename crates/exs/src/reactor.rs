@@ -45,6 +45,7 @@ use std::collections::{HashMap, VecDeque};
 
 use rdma_verbs::{CqId, Cqe, QpNum};
 
+use crate::mux::{MuxEndpoint, MuxEvent};
 use crate::port::VerbsPort;
 use crate::stats::{ConnStats, ReactorStats};
 use crate::stream::{ExsEvent, StreamSocket};
@@ -55,6 +56,13 @@ use crate::stream::{ExsEvent, StreamSocket};
 /// [`Reactor::remove`], like Unix file descriptors.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConnId(pub u32);
+
+/// Stable handle for a [`MuxEndpoint`] hosted by a [`Reactor`].
+///
+/// Slab-index semantics like [`ConnId`], in a separate namespace: one
+/// endpoint carries *many* streams, so it is not a connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MuxId(pub u32);
 
 /// Level-triggered readiness flags for one connection, in the spirit of
 /// `epoll`'s `EPOLLIN`/`EPOLLOUT`/`EPOLLHUP`/`EPOLLERR`.
@@ -150,6 +158,19 @@ struct Conn {
     interest: Readiness,
 }
 
+struct MuxHost {
+    ep: MuxEndpoint,
+    /// Completions dispatched to this endpoint and not yet serviced.
+    queued: VecDeque<(CqSide, Cqe)>,
+}
+
+/// Which handler owns a QP number on the shared CQ pair.
+#[derive(Clone, Copy)]
+enum Owner {
+    Conn(u32),
+    Mux(u32),
+}
+
 /// An epoll-style event loop owning many [`StreamSocket`]s on one node.
 ///
 /// All sockets must share this reactor's send and receive CQs (build
@@ -164,7 +185,9 @@ pub struct Reactor {
     cfg: ReactorConfig,
     conns: Vec<Option<Conn>>,
     free: Vec<u32>,
-    by_qpn: HashMap<QpNum, u32>,
+    muxes: Vec<Option<MuxHost>>,
+    mux_free: Vec<u32>,
+    by_qpn: HashMap<QpNum, Owner>,
     /// Next slab slot to service first (round-robin fairness cursor).
     cursor: usize,
     /// Last drain stopped at the batch bound with the CQ possibly
@@ -185,6 +208,8 @@ impl Reactor {
             cfg,
             conns: Vec::new(),
             free: Vec::new(),
+            muxes: Vec::new(),
+            mux_free: Vec::new(),
             by_qpn: HashMap::new(),
             cursor: 0,
             saturated: false,
@@ -233,9 +258,93 @@ impl Reactor {
             .expect("just added")
             .sock
             .qpn();
-        let prev = self.by_qpn.insert(qpn, idx);
+        let prev = self.by_qpn.insert(qpn, Owner::Conn(idx));
         assert!(prev.is_none(), "duplicate QP {qpn:?} in reactor");
         ConnId(idx)
+    }
+
+    /// Hosts a [`MuxEndpoint`] in the event loop: every QP of its
+    /// transport pool (current and future) completes onto the reactor's
+    /// shared CQs and is dispatched back to the endpoint by QP number.
+    /// The endpoint must have been prepared against this reactor's CQ
+    /// pair (use [`Reactor::send_cq`]/[`Reactor::recv_cq`] with
+    /// [`MuxEndpoint::prepare_transport`], or
+    /// [`MuxEndpoint::set_cqs`] before the sim helper runs).
+    pub fn accept_mux(&mut self, ep: MuxEndpoint) -> MuxId {
+        if let Some(cqs) = ep.cqs() {
+            assert_eq!(
+                cqs,
+                (self.send_cq, self.recv_cq),
+                "endpoint must complete onto the reactor's shared CQs"
+            );
+        }
+        let host = MuxHost {
+            ep,
+            queued: VecDeque::new(),
+        };
+        let idx = match self.mux_free.pop() {
+            Some(idx) => {
+                self.muxes[idx as usize] = Some(host);
+                idx
+            }
+            None => {
+                self.muxes.push(Some(host));
+                (self.muxes.len() - 1) as u32
+            }
+        };
+        let id = MuxId(idx);
+        self.index_mux_transports(id);
+        id
+    }
+
+    /// Re-scans a hosted endpoint's transport pool and indexes QPs
+    /// established since the last scan. Call after lazily connecting
+    /// new pool slots on an endpoint that is already hosted.
+    pub fn index_mux_transports(&mut self, id: MuxId) {
+        let ep = &self.muxes[id.0 as usize].as_ref().expect("live mux").ep;
+        let mut qpns = Vec::new();
+        for slot in 0..ep.pool_size() {
+            if let Some(qpn) = ep.slot_qpn(slot) {
+                qpns.push(qpn);
+            }
+        }
+        for qpn in qpns {
+            match self.by_qpn.insert(qpn, Owner::Mux(id.0)) {
+                None => {}
+                Some(Owner::Mux(prev)) if prev == id.0 => {}
+                Some(_) => panic!("QP {qpn:?} already owned by another handler"),
+            }
+        }
+    }
+
+    /// Removes a hosted endpoint, returning it. Completions still in
+    /// flight for its QPs are dropped (counted as orphans).
+    pub fn remove_mux(&mut self, id: MuxId) -> MuxEndpoint {
+        let host = self.muxes[id.0 as usize]
+            .take()
+            .expect("removing a live mux endpoint");
+        self.by_qpn
+            .retain(|_, owner| !matches!(owner, Owner::Mux(i) if *i == id.0));
+        self.mux_free.push(id.0);
+        self.stats.orphan_cqes += host.queued.len() as u64;
+        host.ep
+    }
+
+    /// Shared access to a hosted endpoint.
+    pub fn mux(&self, id: MuxId) -> &MuxEndpoint {
+        &self.muxes[id.0 as usize].as_ref().expect("live mux").ep
+    }
+
+    /// Exclusive access to a hosted endpoint (open streams, post
+    /// sends/receives). After establishing new transports through this
+    /// handle, call [`Reactor::index_mux_transports`].
+    pub fn mux_mut(&mut self, id: MuxId) -> &mut MuxEndpoint {
+        &mut self.muxes[id.0 as usize].as_mut().expect("live mux").ep
+    }
+
+    /// Takes the queued user events of one hosted endpoint.
+    pub fn take_mux_events(&mut self, id: MuxId) -> Vec<MuxEvent> {
+        self.mux_mut(id).take_events()
     }
 
     /// Removes a connection, returning the socket. Completions still in
@@ -298,11 +407,15 @@ impl Reactor {
         &self.stats
     }
 
-    /// Sum of all live connections' protocol counters.
+    /// Sum of all live connections' (and hosted mux endpoints')
+    /// protocol counters.
     pub fn aggregate_conn_stats(&self) -> ConnStats {
         let mut total = ConnStats::default();
         for conn in self.conns.iter().flatten() {
             total.merge(conn.sock.stats());
+        }
+        for host in self.muxes.iter().flatten() {
+            total.merge(host.ep.stats());
         }
         total
     }
@@ -330,6 +443,11 @@ impl Reactor {
                 self.service_conn(api, idx);
             }
             self.cursor = (self.cursor + 1) % n;
+        }
+        // Hosted mux endpoints do their own per-stream fairness
+        // internally; the reactor just bounds their per-poll CQE intake.
+        for idx in 0..self.muxes.len() {
+            self.service_mux(api, idx);
         }
 
         // Readiness scan.
@@ -373,10 +491,18 @@ impl Reactor {
             self.stats.max_cq_batch = self.stats.max_cq_batch.max(got as u64);
             for cqe in self.scratch.drain(..) {
                 match self.by_qpn.get(&cqe.qpn) {
-                    Some(&idx) => {
+                    Some(&Owner::Conn(idx)) => {
                         self.conns[idx as usize]
                             .as_mut()
                             .expect("by_qpn points at live conn")
+                            .queued
+                            .push_back((side, cqe));
+                        self.stats.cqes_dispatched += 1;
+                    }
+                    Some(&Owner::Mux(idx)) => {
+                        self.muxes[idx as usize]
+                            .as_mut()
+                            .expect("by_qpn points at live mux")
                             .queued
                             .push_back((side, cqe));
                         self.stats.cqes_dispatched += 1;
@@ -401,6 +527,11 @@ impl Reactor {
                 .iter()
                 .flatten()
                 .any(|conn| !conn.queued.is_empty())
+            || self
+                .muxes
+                .iter()
+                .flatten()
+                .any(|host| !host.queued.is_empty())
     }
 
     fn service_conn(&mut self, api: &mut impl VerbsPort, idx: usize) {
@@ -424,6 +555,27 @@ impl Reactor {
         if served > 0 || !conn.sock.sends_drained() || conn.sock.send_closed() {
             conn.sock.progress(api);
         }
+    }
+
+    fn service_mux(&mut self, api: &mut impl VerbsPort, idx: usize) {
+        let Some(host) = self.muxes[idx].as_mut() else {
+            return;
+        };
+        let mut served = 0usize;
+        while served < self.cfg.cqe_budget {
+            let Some((side, cqe)) = host.queued.pop_front() else {
+                break;
+            };
+            match side {
+                CqSide::Recv => host.ep.on_recv_cqe(api, cqe),
+                CqSide::Send => host.ep.on_send_cqe(api, cqe),
+            }
+            served += 1;
+        }
+        if !host.queued.is_empty() {
+            self.stats.deferrals += 1;
+        }
+        host.ep.progress(api);
     }
 }
 

@@ -37,6 +37,7 @@ use std::collections::VecDeque;
 
 use crate::buffer::ReceiverRing;
 use crate::config::ProtocolMode;
+use crate::error::ProtocolError;
 use crate::messages::Advert;
 use crate::phase::Phase;
 use crate::seq::Seq;
@@ -197,22 +198,28 @@ impl ReceiverHalf {
     /// Handles an arriving *direct* transfer of `len` bytes (paper
     /// Fig. 4, direct branch). The data is already in the user buffer —
     /// the sender's WWI placed it there; only bookkeeping happens here.
-    pub fn on_direct(&mut self, len: u32, stats: &mut ConnStats, actions: &mut Vec<RecvAction>) {
+    ///
+    /// A direct transfer with no advertised receive to land in, or one
+    /// that overfills the advertised buffer, is a protocol violation
+    /// the peer can drive — it surfaces as a typed error, not a panic.
+    pub fn on_direct(
+        &mut self,
+        len: u32,
+        stats: &mut ConnStats,
+        actions: &mut Vec<RecvAction>,
+    ) -> Result<(), ProtocolError> {
         let head = self
             .recvs
             .front_mut()
-            .expect("direct transfer arrived with an empty receive queue");
-        let meta = head
-            .advert
-            .expect("direct transfer arrived for an un-advertised receive");
+            .ok_or(ProtocolError::DirectWithoutAdvert)?;
+        let meta = head.advert.ok_or(ProtocolError::DirectWithoutAdvert)?;
         debug_assert_eq!(
             meta.phase, self.phase,
             "Theorem 1 violated: direct transfer for a prior-phase ADVERT"
         );
-        debug_assert!(
-            head.filled + len <= head.op.len,
-            "direct transfer overfills the advertised buffer"
-        );
+        if head.filled.checked_add(len).is_none_or(|f| f > head.op.len) {
+            return Err(ProtocolError::DirectOverfill);
+        }
         head.filled += len;
         self.seq.advance(len as u64);
         // Replace the estimate with truth.
@@ -239,13 +246,25 @@ impl ReceiverHalf {
             });
         }
         self.pump(stats, actions);
+        Ok(())
     }
 
     /// Handles an arriving *indirect* transfer of `len` bytes (paper
     /// Fig. 4, else branch): advance to an indirect phase if needed
     /// (invalidating outstanding ADVERTs) and account the ring bytes,
     /// then run the copy-out loop.
-    pub fn on_indirect(&mut self, len: u32, stats: &mut ConnStats, actions: &mut Vec<RecvAction>) {
+    ///
+    /// A length that would overfill the ring means the peer ignored the
+    /// ACK-based flow control — a typed error, not a panic.
+    pub fn on_indirect(
+        &mut self,
+        len: u32,
+        stats: &mut ConnStats,
+        actions: &mut Vec<RecvAction>,
+    ) -> Result<(), ProtocolError> {
+        self.ring
+            .checked_arrived(len as u64)
+            .ok_or(ProtocolError::RingOverflow)?;
         if self.phase.is_direct() {
             self.phase = self.phase.next();
             // Every outstanding ADVERT is now from a prior phase; its
@@ -253,8 +272,8 @@ impl ReceiverHalf {
             self.prior_phase_adverts =
                 self.recvs.iter().filter(|r| r.advert.is_some()).count() as u32;
         }
-        self.ring.arrived(len as u64);
         self.pump(stats, actions);
+        Ok(())
     }
 
     /// Cancels a queued receive by user id. Only receives that have not
@@ -501,7 +520,7 @@ mod tests {
         let (mut r, mut st, mut acts) = half(ProtocolMode::Dynamic);
         r.push_recv(op(1, 0x2000, 128, false), &mut st, &mut acts);
         acts.clear();
-        r.on_direct(50, &mut st, &mut acts);
+        r.on_direct(50, &mut st, &mut acts).unwrap();
         assert_eq!(completions(&acts), vec![(1, 50)]);
         assert_eq!(r.seq(), Seq(50));
         assert_eq!(r.queue_len(), 0);
@@ -515,9 +534,9 @@ mod tests {
         let (mut r, mut st, mut acts) = half(ProtocolMode::Dynamic);
         r.push_recv(op(1, 0x2000, 100, true), &mut st, &mut acts);
         acts.clear();
-        r.on_direct(40, &mut st, &mut acts);
+        r.on_direct(40, &mut st, &mut acts).unwrap();
         assert!(completions(&acts).is_empty(), "WAITALL holds until full");
-        r.on_direct(60, &mut st, &mut acts);
+        r.on_direct(60, &mut st, &mut acts).unwrap();
         assert_eq!(completions(&acts), vec![(1, 100)]);
         assert_eq!(r.seq(), Seq(100));
     }
@@ -527,7 +546,7 @@ mod tests {
         let (mut r, mut st, mut acts) = half(ProtocolMode::Dynamic);
         r.push_recv(op(1, 0x2000, 128, false), &mut st, &mut acts);
         acts.clear();
-        r.on_indirect(50, &mut st, &mut acts);
+        r.on_indirect(50, &mut st, &mut acts).unwrap();
         assert_eq!(r.phase(), Phase(1));
         // Copy from ring offset 0 into the user buffer, then complete.
         assert_eq!(
@@ -553,7 +572,7 @@ mod tests {
         let (mut r, mut st, mut acts) = half(ProtocolMode::Dynamic);
         r.push_recv(op(1, 0x2000, 128, false), &mut st, &mut acts);
         acts.clear();
-        r.on_indirect(50, &mut st, &mut acts); // completes recv 1, phase 1
+        r.on_indirect(50, &mut st, &mut acts).unwrap(); // completes recv 1, phase 1
         acts.clear();
         // Next recv: buffer empty, no prior adverts → advertise in phase 2
         // with the exact sequence 50.
@@ -569,7 +588,7 @@ mod tests {
         let (mut r, mut st, mut acts) = half(ProtocolMode::Dynamic);
         // Indirect data arrives with no receive posted: it waits in the
         // ring.
-        r.on_indirect(200, &mut st, &mut acts);
+        r.on_indirect(200, &mut st, &mut acts).unwrap();
         assert!(adverts(&acts).is_empty());
         assert_eq!(r.buffered(), 200);
         acts.clear();
@@ -602,7 +621,7 @@ mod tests {
         acts.clear();
         // An indirect transfer invalidates them (k_a = 3) and satisfies
         // only the first (40 bytes).
-        r.on_indirect(40, &mut st, &mut acts);
+        r.on_indirect(40, &mut st, &mut acts).unwrap();
         assert_eq!(r.prior_phase_adverts(), 2);
         assert_eq!(completions(&acts), vec![(1, 40)]);
         acts.clear();
@@ -614,7 +633,7 @@ mod tests {
         acts.clear();
         // More indirect data satisfies receives 2 and 3 (k_a → 0) and
         // then 4, after which the gate reopens for receive 5.
-        r.on_indirect(300, &mut st, &mut acts);
+        r.on_indirect(300, &mut st, &mut acts).unwrap();
         assert_eq!(completions(&acts), vec![(2, 100), (3, 100), (4, 100)]);
         assert_eq!(r.prior_phase_adverts(), 0);
         acts.clear();
@@ -628,12 +647,12 @@ mod tests {
     #[test]
     fn waitall_recv_waits_for_full_buffer_via_ring() {
         let (mut r, mut st, mut acts) = half(ProtocolMode::Dynamic);
-        r.on_indirect(30, &mut st, &mut acts);
+        r.on_indirect(30, &mut st, &mut acts).unwrap();
         acts.clear();
         r.push_recv(op(1, 0x2000, 100, true), &mut st, &mut acts);
         assert!(completions(&acts).is_empty(), "30 of 100 bytes so far");
         acts.clear();
-        r.on_indirect(70, &mut st, &mut acts);
+        r.on_indirect(70, &mut st, &mut acts).unwrap();
         assert_eq!(completions(&acts), vec![(1, 100)]);
     }
 
@@ -641,7 +660,7 @@ mod tests {
     fn ack_threshold_batches() {
         let (mut r, mut st, mut acts) = half(ProtocolMode::Dynamic);
         // Fill the ring with 400 bytes; no receives posted yet.
-        r.on_indirect(400, &mut st, &mut acts);
+        r.on_indirect(400, &mut st, &mut acts).unwrap();
         acts.clear();
         // Drain 30 bytes: below the threshold (100) and ring non-empty →
         // no ACK yet.
@@ -662,7 +681,7 @@ mod tests {
         assert!(adverts(&acts).is_empty());
         assert_eq!(st.adverts_sent, 0);
         // Data still flows through the ring.
-        r.on_indirect(100, &mut st, &mut acts);
+        r.on_indirect(100, &mut st, &mut acts).unwrap();
         assert_eq!(completions(&acts), vec![(1, 100)]);
     }
 
@@ -670,11 +689,11 @@ mod tests {
     fn ring_wrap_produces_two_copies() {
         let (mut r, mut st, mut acts) = half(ProtocolMode::IndirectOnly);
         // Advance the ring cursor to 900.
-        r.on_indirect(900, &mut st, &mut acts);
+        r.on_indirect(900, &mut st, &mut acts).unwrap();
         r.push_recv(op(1, 0x2000, 900, true), &mut st, &mut acts);
         acts.clear();
         // 200 more bytes: 100 before the wrap, 100 after.
-        r.on_indirect(200, &mut st, &mut acts);
+        r.on_indirect(200, &mut st, &mut acts).unwrap();
         r.push_recv(op(2, 0x9000, 200, true), &mut st, &mut acts);
         let copies: Vec<_> = acts
             .iter()
@@ -688,10 +707,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty receive queue")]
-    fn direct_without_recv_panics() {
+    fn direct_without_recv_is_typed_error() {
         let (mut r, mut st, mut acts) = half(ProtocolMode::Dynamic);
-        r.on_direct(10, &mut st, &mut acts);
+        assert_eq!(
+            r.on_direct(10, &mut st, &mut acts),
+            Err(ProtocolError::DirectWithoutAdvert)
+        );
+    }
+
+    #[test]
+    fn direct_overfill_is_typed_error() {
+        let (mut r, mut st, mut acts) = half(ProtocolMode::Dynamic);
+        r.push_recv(op(1, 0x2000, 64, false), &mut st, &mut acts);
+        assert_eq!(
+            r.on_direct(65, &mut st, &mut acts),
+            Err(ProtocolError::DirectOverfill)
+        );
+    }
+
+    #[test]
+    fn indirect_ring_overflow_is_typed_error() {
+        let (mut r, mut st, mut acts) = half(ProtocolMode::Dynamic);
+        r.on_indirect(1000, &mut st, &mut acts).unwrap();
+        assert_eq!(
+            r.on_indirect(1, &mut st, &mut acts),
+            Err(ProtocolError::RingOverflow)
+        );
+        // State is untouched by the rejected arrival.
+        assert_eq!(r.buffered(), 1000);
     }
 
     #[test]
@@ -701,7 +744,7 @@ mod tests {
         // un-advertised receive behind it.
         r.push_recv(op(1, 0x2000, 100, true), &mut st, &mut acts);
         acts.clear();
-        r.on_direct(40, &mut st, &mut acts);
+        r.on_direct(40, &mut st, &mut acts).unwrap();
         assert!(completions(&acts).is_empty());
         r.push_recv(op(2, 0x3000, 50, false), &mut st, &mut acts);
         acts.clear();

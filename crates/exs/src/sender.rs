@@ -29,6 +29,7 @@ use std::collections::VecDeque;
 
 use crate::buffer::SenderRing;
 use crate::config::{DirectPolicy, ProtocolMode};
+use crate::error::ProtocolError;
 use crate::messages::Advert;
 use crate::phase::Phase;
 use crate::seq::Seq;
@@ -138,26 +139,39 @@ impl SenderHalf {
     }
 
     /// Queues an ADVERT received from the peer.
-    pub fn push_advert(&mut self, advert: Advert, stats: &mut ConnStats) {
+    ///
+    /// An ADVERT carrying an indirect phase (Lemma 1 says a correct
+    /// receiver never emits one), zero length, or a zero-length
+    /// remaining window is a protocol violation — typed error, not a
+    /// panic, since the phase word comes straight off the wire.
+    pub fn push_advert(
+        &mut self,
+        advert: Advert,
+        stats: &mut ConnStats,
+    ) -> Result<(), ProtocolError> {
         stats.adverts_received += 1;
-        debug_assert!(
-            advert.phase.is_direct(),
-            "Lemma 1 violated: ADVERT carries indirect phase {}",
-            advert.phase
-        );
+        if advert.phase.is_indirect() || advert.len == 0 {
+            return Err(ProtocolError::BadAdvert);
+        }
         if self.mode.buffered_only() {
             // The buffered-only baselines ignore ADVERTs entirely (the
             // peer should not send any, but tolerate mixed configs).
             stats.adverts_discarded += 1;
-            return;
+            return Ok(());
         }
         self.adverts.push_back(QueuedAdvert { advert, filled: 0 });
+        Ok(())
     }
 
     /// Applies an ACK: the receiver freed `n` intermediate-buffer bytes.
-    pub fn on_ack(&mut self, freed: u64, stats: &mut ConnStats) {
+    ///
+    /// A freed count exceeding the bytes actually in flight is a
+    /// flow-control violation by the peer.
+    pub fn on_ack(&mut self, freed: u64, stats: &mut ConnStats) -> Result<(), ProtocolError> {
         stats.acks_received += 1;
-        self.ring.release(freed);
+        self.ring
+            .checked_release(freed)
+            .ok_or(ProtocolError::AckUnderflow)
     }
 
     /// Plans the next WWI for a send with `remaining` unsent bytes,
@@ -365,7 +379,8 @@ mod tests {
     #[test]
     fn direct_when_advert_available() {
         let (mut s, mut st) = half(ProtocolMode::Dynamic);
-        s.push_advert(advert(0, 0, 0x2000, 100, false), &mut st);
+        s.push_advert(advert(0, 0, 0x2000, 100, false), &mut st)
+            .unwrap();
         let plan = s.plan_transfer(50, &mut st).unwrap();
         assert_eq!(
             plan,
@@ -387,8 +402,10 @@ mod tests {
     #[test]
     fn large_send_splits_across_adverts() {
         let (mut s, mut st) = half(ProtocolMode::Dynamic);
-        s.push_advert(advert(0, 0, 0x2000, 100, false), &mut st);
-        s.push_advert(advert(101, 0, 0x3000, 100, false), &mut st);
+        s.push_advert(advert(0, 0, 0x2000, 100, false), &mut st)
+            .unwrap();
+        s.push_advert(advert(101, 0, 0x3000, 100, false), &mut st)
+            .unwrap();
         // 150-byte send: 100 into the first advert, 50 into the second.
         let p1 = s.plan_transfer(150, &mut st).unwrap();
         assert_eq!((p1.raddr, p1.len), (0x2000, 100));
@@ -402,7 +419,8 @@ mod tests {
         // A 10-byte send into a 100-byte non-WAITALL advert consumes the
         // advert entirely: the receive completes with 10 bytes.
         let (mut s, mut st) = half(ProtocolMode::Dynamic);
-        s.push_advert(advert(0, 0, 0x2000, 100, false), &mut st);
+        s.push_advert(advert(0, 0, 0x2000, 100, false), &mut st)
+            .unwrap();
         let p = s.plan_transfer(10, &mut st).unwrap();
         assert_eq!(p.len, 10);
         assert_eq!(s.advert_queue_len(), 0);
@@ -411,7 +429,8 @@ mod tests {
     #[test]
     fn waitall_advert_stays_until_filled() {
         let (mut s, mut st) = half(ProtocolMode::Dynamic);
-        s.push_advert(advert(0, 0, 0x2000, 100, true), &mut st);
+        s.push_advert(advert(0, 0, 0x2000, 100, true), &mut st)
+            .unwrap();
         let p1 = s.plan_transfer(40, &mut st).unwrap();
         assert_eq!((p1.raddr, p1.len), (0x2000, 40));
         assert_eq!(s.advert_queue_len(), 1, "WAITALL advert retained");
@@ -442,7 +461,7 @@ mod tests {
     fn indirect_splits_at_wrap() {
         let (mut s, mut st) = half(ProtocolMode::Dynamic);
         s.plan_transfer(900, &mut st).unwrap();
-        s.on_ack(900, &mut st); // buffer empty again, cursor at 900
+        s.on_ack(900, &mut st).unwrap(); // buffer empty again, cursor at 900
         let p = s.plan_transfer(500, &mut st).unwrap();
         assert_eq!((p.raddr - ring().addr, p.len), (900, 100));
         let p2 = s.plan_transfer(400, &mut st).unwrap();
@@ -454,7 +473,7 @@ mod tests {
         let (mut s, mut st) = half(ProtocolMode::Dynamic);
         assert!(s.plan_transfer(1000, &mut st).is_some());
         assert!(s.plan_transfer(1, &mut st).is_none(), "buffer full");
-        s.on_ack(200, &mut st);
+        s.on_ack(200, &mut st).unwrap();
         let p = s.plan_transfer(500, &mut st).unwrap();
         assert_eq!(p.len, 200, "limited by freed space");
     }
@@ -463,14 +482,16 @@ mod tests {
     fn direct_only_waits_for_adverts() {
         let (mut s, mut st) = half(ProtocolMode::DirectOnly);
         assert!(s.plan_transfer(100, &mut st).is_none());
-        s.push_advert(advert(0, 0, 0x2000, 100, false), &mut st);
+        s.push_advert(advert(0, 0, 0x2000, 100, false), &mut st)
+            .unwrap();
         assert!(!s.plan_transfer(100, &mut st).unwrap().indirect);
     }
 
     #[test]
     fn indirect_only_ignores_adverts() {
         let (mut s, mut st) = half(ProtocolMode::IndirectOnly);
-        s.push_advert(advert(0, 0, 0x2000, 100, false), &mut st);
+        s.push_advert(advert(0, 0, 0x2000, 100, false), &mut st)
+            .unwrap();
         assert_eq!(s.advert_queue_len(), 0);
         assert_eq!(st.adverts_discarded, 1);
         assert!(s.plan_transfer(100, &mut st).unwrap().indirect);
@@ -484,7 +505,8 @@ mod tests {
         assert_eq!(s.phase(), Phase(1));
         // An advert from the old direct phase 0 crosses on the wire:
         // discarded even though its seq (10) matches.
-        s.push_advert(advert(10, 0, 0x2000, 100, false), &mut st);
+        s.push_advert(advert(10, 0, 0x2000, 100, false), &mut st)
+            .unwrap();
         let p = s.plan_transfer(10, &mut st).unwrap();
         assert!(p.indirect, "stale advert must not be matched");
         assert_eq!(st.adverts_discarded, 1);
@@ -499,14 +521,16 @@ mod tests {
         s.plan_transfer(100, &mut st).unwrap(); // indirect, phase 1, seq 100
                                                 // The receiver resynchronized too early: advert for phase 2 with
                                                 // seq 50 (data still in flight).
-        s.push_advert(advert(50, 2, 0x2000, 100, false), &mut st);
+        s.push_advert(advert(50, 2, 0x2000, 100, false), &mut st)
+            .unwrap();
         let p = s.plan_transfer(10, &mut st).unwrap();
         assert!(p.indirect);
         assert_eq!(st.adverts_discarded, 1);
         assert_eq!(s.phase(), Phase(3), "sender jumps past the dead phase");
         // A successor advert from the dead phase 2 whose seq happens to
         // match S_s must also be discarded (the Fig. 8 incorrect match).
-        s.push_advert(advert(110, 2, 0x3000, 100, false), &mut st);
+        s.push_advert(advert(110, 2, 0x3000, 100, false), &mut st)
+            .unwrap();
         let p = s.plan_transfer(10, &mut st).unwrap();
         assert!(p.indirect, "phase-2 successor advert must not match");
         assert_eq!(st.adverts_discarded, 2);
@@ -518,7 +542,8 @@ mod tests {
         s.plan_transfer(100, &mut st).unwrap(); // indirect, phase 1, seq 100
                                                 // Receiver consumed everything and resynchronized: phase 2,
                                                 // seq exactly 100.
-        s.push_advert(advert(100, 2, 0x2000, 64, false), &mut st);
+        s.push_advert(advert(100, 2, 0x2000, 64, false), &mut st)
+            .unwrap();
         let p = s.plan_transfer(64, &mut st).unwrap();
         assert!(!p.indirect);
         assert_eq!(s.phase(), Phase(2));
@@ -543,8 +568,9 @@ mod tests {
         assert_eq!(p.len, 128);
         // Direct transfers are NOT chunk-capped: one WWI per advert
         // match, bounded only by the advertised buffer.
-        s.on_ack(128, &mut st);
-        s.push_advert(advert(128, 2, 0x2000, 1000, false), &mut st);
+        s.on_ack(128, &mut st).unwrap();
+        s.push_advert(advert(128, 2, 0x2000, 1000, false), &mut st)
+            .unwrap();
         let p = s.plan_transfer(1000, &mut st).unwrap();
         assert_eq!((p.raddr, p.len), (0x2000, 1000));
     }
@@ -575,7 +601,8 @@ mod tests {
         assert_eq!(st.resyncs_attempted, 1);
         assert_eq!(st.indirect_transfers, 0);
         // The advert arrives: the paused send goes direct.
-        s.push_advert(advert(0, 0, 0x2000, 500, false), &mut st);
+        s.push_advert(advert(0, 0, 0x2000, 500, false), &mut st)
+            .unwrap();
         let p = s.plan_transfer(500, &mut st).unwrap();
         assert!(!p.indirect);
         assert!(!s.waiting_resync());
@@ -607,8 +634,9 @@ mod tests {
         assert!(s.waiting_resync());
         // Receiver drains: ACK first, resync ADVERT right behind it in
         // the same FIFO control flush.
-        s.on_ack(99, &mut st);
-        s.push_advert(advert(99, 2, 0x2000, 500, false), &mut st);
+        s.on_ack(99, &mut st).unwrap();
+        s.push_advert(advert(99, 2, 0x2000, 500, false), &mut st)
+            .unwrap();
         let p = s.plan_transfer(500, &mut st).unwrap();
         assert!(!p.indirect);
         assert_eq!(st.resyncs_completed, 1);
@@ -625,10 +653,10 @@ mod tests {
         s.plan_transfer(99, &mut st).unwrap(); // small → indirect backlog
         for round in 0..2u32 {
             assert!(s.plan_transfer(500, &mut st).is_none(), "round {round}");
-            s.on_ack(99, &mut st); // drained, no advert: bet lost
+            s.on_ack(99, &mut st).unwrap(); // drained, no advert: bet lost
             let p = s.plan_transfer(500, &mut st).unwrap();
             assert!(p.indirect, "failed wait falls back to indirect");
-            s.on_ack(p.len as u64, &mut st);
+            s.on_ack(p.len as u64, &mut st).unwrap();
             let p = s.plan_transfer(99, &mut st).unwrap(); // rebuild a backlog
             assert_eq!(p.len, 99);
         }
@@ -639,8 +667,9 @@ mod tests {
         assert!(p.indirect, "latched-off policy stops pausing");
         assert_eq!(st.resyncs_attempted, 2);
         // A direct transfer re-arms the policy.
-        s.on_ack(99 + p.len as u64, &mut st);
-        s.push_advert(advert(s.seq().0, 2, 0x2000, 64, false), &mut st);
+        s.on_ack(99 + p.len as u64, &mut st).unwrap();
+        s.push_advert(advert(s.seq().0, 2, 0x2000, 64, false), &mut st)
+            .unwrap();
         assert!(!s.plan_transfer(64, &mut st).unwrap().indirect);
         assert!(s.plan_transfer(500, &mut st).is_none(), "re-armed pause");
         assert_eq!(st.resyncs_attempted, 3);
@@ -658,9 +687,28 @@ mod tests {
         assert!(p.indirect, "deep backlog (99 > 50) vetoes the pause");
         assert_eq!(st.resyncs_attempted, 0);
         // Receiver catches up: 39 un-ACKed ≤ 50 — now the pause engages.
-        s.on_ack(560, &mut st);
+        s.on_ack(560, &mut st).unwrap();
         assert!(s.plan_transfer(500, &mut st).is_none());
         assert_eq!(st.resyncs_attempted, 1);
+    }
+
+    #[test]
+    fn indirect_phase_advert_is_typed_error() {
+        let (mut s, mut st) = half(ProtocolMode::Dynamic);
+        assert_eq!(
+            s.push_advert(advert(0, 1, 0x2000, 100, false), &mut st),
+            Err(ProtocolError::BadAdvert)
+        );
+        assert_eq!(s.advert_queue_len(), 0);
+    }
+
+    #[test]
+    fn ack_underflow_is_typed_error() {
+        let (mut s, mut st) = half(ProtocolMode::Dynamic);
+        assert_eq!(s.on_ack(1, &mut st), Err(ProtocolError::AckUnderflow));
+        s.plan_transfer(100, &mut st).unwrap(); // 100 in flight
+        assert_eq!(s.on_ack(101, &mut st), Err(ProtocolError::AckUnderflow));
+        assert_eq!(s.on_ack(100, &mut st), Ok(()));
     }
 
     #[test]

@@ -31,11 +31,26 @@ impl Seq {
     }
 
     /// Byte distance from `earlier` to `self` (panics if negative).
+    ///
+    /// Only for distances between *locally maintained* positions, where
+    /// a negative distance is a programming error. Distances involving
+    /// any peer-supplied sequence number must go through
+    /// [`Seq::checked_distance_from`] — a malformed peer must surface a
+    /// protocol error, not abort the process.
     #[inline]
     pub fn distance_from(self, earlier: Seq) -> u64 {
         self.0
             .checked_sub(earlier.0)
             .expect("sequence distance underflow")
+    }
+
+    /// Byte distance from `earlier` to `self`, or `None` when `earlier`
+    /// is actually ahead. The non-panicking variant for validating
+    /// sequence numbers that arrived off the wire (ADVERT/FIN/ACK
+    /// control paths).
+    #[inline]
+    pub fn checked_distance_from(self, earlier: Seq) -> Option<u64> {
+        self.0.checked_sub(earlier.0)
     }
 }
 
@@ -68,6 +83,13 @@ mod tests {
     #[should_panic(expected = "underflow")]
     fn negative_distance_panics() {
         let _ = Seq(1).distance_from(Seq(2));
+    }
+
+    #[test]
+    fn checked_distance_is_total() {
+        assert_eq!(Seq(30).checked_distance_from(Seq(12)), Some(18));
+        assert_eq!(Seq(5).checked_distance_from(Seq(5)), Some(0));
+        assert_eq!(Seq(1).checked_distance_from(Seq(2)), None);
     }
 
     #[test]

@@ -88,14 +88,31 @@ pub struct ConnStats {
     /// Times this connection's fabric flow re-sped (fair-share model:
     /// another flow on a shared link arrived or left mid-transfer).
     /// Annotated post-run from the fabric's per-flow telemetry; 0 on
-    /// the FIFO model and on the thread backend. Merging takes the max
-    /// (connections on one node share a flow; summing would
-    /// double-count).
+    /// the FIFO model and on the thread backend. Merging sums — each
+    /// connection is annotated from its own flow's telemetry, so the
+    /// aggregate is the total re-speed count across flows. (Earlier
+    /// versions max-merged and under-reported fan-in totals.)
     pub fabric_respeeds: u64,
-    /// Achieved payload rate (Mbit/s) of the fabric flow carrying this
-    /// connection while the flow was active. Shared by every connection
-    /// on the same node pair; merging takes the max.
-    pub fabric_flow_mbps: f64,
+    /// Sum of per-flow achieved payload rates (Mbit/s) recorded via
+    /// [`ConnStats::record_fabric_flow`]; divide by
+    /// `fabric_flow_samples` for the mean flow rate.
+    pub fabric_flow_mbps_sum: f64,
+    /// Number of fabric-flow rate samples recorded.
+    pub fabric_flow_samples: u64,
+    /// Fastest single fabric flow observed (Mbit/s) — the old
+    /// max-merge semantics, kept as an explicit gauge.
+    pub fabric_flow_mbps_max: f64,
+    /// Largest number of multiplexed streams concurrently live on this
+    /// endpoint's shared transports (0 for plain QP-per-stream
+    /// sockets). Merging takes the max.
+    pub mux_streams_peak: u64,
+    /// Arrivals carrying an unknown or already-closed stream id on a
+    /// shared transport — the typed-error demux path. Merging sums.
+    pub mux_demux_errors: u64,
+    /// Protocol violations driven by peer input (malformed control
+    /// messages, sequence regressions, overfilled rings) that broke the
+    /// connection instead of aborting the process. Merging sums.
+    pub protocol_errors: u64,
 }
 
 impl ConnStats {
@@ -152,6 +169,26 @@ impl ConnStats {
         self.advert_queue_samples += 1;
     }
 
+    /// Records one fabric-flow achieved-rate observation (annotated
+    /// post-run from the fabric's per-flow telemetry).
+    pub fn record_fabric_flow(&mut self, mbps: f64) {
+        self.fabric_flow_mbps_sum += mbps;
+        self.fabric_flow_samples += 1;
+        if mbps > self.fabric_flow_mbps_max {
+            self.fabric_flow_mbps_max = mbps;
+        }
+    }
+
+    /// Mean fabric-flow achieved rate across samples (0 when never
+    /// sampled).
+    pub fn fabric_flow_mbps_mean(&self) -> f64 {
+        if self.fabric_flow_samples == 0 {
+            0.0
+        } else {
+            self.fabric_flow_mbps_sum / self.fabric_flow_samples as f64
+        }
+    }
+
     /// Fraction of posted WQEs that completed unsignaled (CQEs saved).
     pub fn unsignaled_ratio(&self) -> f64 {
         let total = self.signaled_wqes + self.unsignaled_wqes;
@@ -196,8 +233,13 @@ impl ConnStats {
         self.cq_overflowed |= other.cq_overflowed;
         self.cq_max_batch = self.cq_max_batch.max(other.cq_max_batch);
         self.cq_nonempty_polls += other.cq_nonempty_polls;
-        self.fabric_respeeds = self.fabric_respeeds.max(other.fabric_respeeds);
-        self.fabric_flow_mbps = self.fabric_flow_mbps.max(other.fabric_flow_mbps);
+        self.fabric_respeeds += other.fabric_respeeds;
+        self.fabric_flow_mbps_sum += other.fabric_flow_mbps_sum;
+        self.fabric_flow_samples += other.fabric_flow_samples;
+        self.fabric_flow_mbps_max = self.fabric_flow_mbps_max.max(other.fabric_flow_mbps_max);
+        self.mux_streams_peak = self.mux_streams_peak.max(other.mux_streams_peak);
+        self.mux_demux_errors += other.mux_demux_errors;
+        self.protocol_errors += other.protocol_errors;
     }
 
     /// Serializes the counters (plus derived ratios) as a JSON object.
@@ -222,7 +264,11 @@ impl ConnStats {
                 "\"coalesced_msgs\":{},\"coalesced_bytes\":{},",
                 "\"cq_overflowed\":{},\"cq_max_batch\":{},",
                 "\"cq_nonempty_polls\":{},",
-                "\"fabric_respeeds\":{},\"fabric_flow_mbps\":{:.3},",
+                "\"fabric_respeeds\":{},\"fabric_flow_mbps_mean\":{:.3},",
+                "\"fabric_flow_mbps_max\":{:.3},",
+                "\"fabric_flow_samples\":{},",
+                "\"mux_streams_peak\":{},\"mux_demux_errors\":{},",
+                "\"protocol_errors\":{},",
                 "\"mean_wqes_per_doorbell\":{:.6},",
                 "\"unsignaled_ratio\":{:.6},\"direct_ratio\":{:.6},",
                 "\"direct_byte_ratio\":{:.6}}}"
@@ -258,7 +304,12 @@ impl ConnStats {
             self.cq_max_batch,
             self.cq_nonempty_polls,
             self.fabric_respeeds,
-            self.fabric_flow_mbps,
+            self.fabric_flow_mbps_mean(),
+            self.fabric_flow_mbps_max,
+            self.fabric_flow_samples,
+            self.mux_streams_peak,
+            self.mux_demux_errors,
+            self.protocol_errors,
             self.mean_wqes_per_doorbell(),
             self.unsignaled_ratio(),
             self.direct_ratio(),
@@ -529,24 +580,55 @@ mod tests {
     }
 
     #[test]
-    fn fabric_telemetry_json_and_merge_take_max() {
+    fn fabric_telemetry_json_and_merge_sum() {
         let mut s = ConnStats {
             fabric_respeeds: 3,
-            fabric_flow_mbps: 5000.5,
             ..ConnStats::default()
         };
+        s.record_fabric_flow(5000.5);
         let j = s.to_json();
         assert!(j.contains("\"fabric_respeeds\":3"));
-        assert!(j.contains("\"fabric_flow_mbps\":5000.500"));
+        assert!(j.contains("\"fabric_flow_mbps_mean\":5000.500"));
+        assert!(j.contains("\"fabric_flow_mbps_max\":5000.500"));
+        assert!(j.contains("\"fabric_flow_samples\":1"));
 
-        let other = ConnStats {
+        let mut other = ConnStats {
             fabric_respeeds: 7,
-            fabric_flow_mbps: 100.0,
+            ..ConnStats::default()
+        };
+        other.record_fabric_flow(100.0);
+        s.merge(&other);
+        assert_eq!(s.fabric_respeeds, 10, "re-speed totals must sum");
+        assert_eq!(s.fabric_flow_samples, 2);
+        assert!((s.fabric_flow_mbps_mean() - 2550.25).abs() < 1e-9);
+        assert_eq!(
+            s.fabric_flow_mbps_max, 5000.5,
+            "the max gauge keeps the old semantics"
+        );
+    }
+
+    #[test]
+    fn mux_and_protocol_error_telemetry_merge() {
+        let mut s = ConnStats {
+            mux_streams_peak: 100,
+            mux_demux_errors: 2,
+            protocol_errors: 1,
+            ..ConnStats::default()
+        };
+        let other = ConnStats {
+            mux_streams_peak: 64,
+            mux_demux_errors: 3,
+            protocol_errors: 4,
             ..ConnStats::default()
         };
         s.merge(&other);
-        assert_eq!(s.fabric_respeeds, 7, "shared-flow counters take the max");
-        assert_eq!(s.fabric_flow_mbps, 5000.5);
+        assert_eq!(s.mux_streams_peak, 100, "peak takes the max");
+        assert_eq!(s.mux_demux_errors, 5, "demux errors sum");
+        assert_eq!(s.protocol_errors, 5, "protocol errors sum");
+        let j = s.to_json();
+        assert!(j.contains("\"mux_streams_peak\":100"));
+        assert!(j.contains("\"mux_demux_errors\":5"));
+        assert!(j.contains("\"protocol_errors\":5"));
     }
 
     #[test]

@@ -32,9 +32,11 @@ use rdma_verbs::{Access, CqId, MrKey};
 use crate::port::VerbsPort;
 
 use crate::config::{ExsConfig, ProtocolMode, WwiMode};
+use crate::error::{ExsError, ProtocolError};
 use crate::messages::{decode_imm, encode_imm, Ctrl, CtrlMsg, TransferKind, CTRL_MSG_LEN};
 use crate::receiver::{LocalRing, ReceiverHalf, RecvAction, RecvOp};
 use crate::sender::{RemoteRing, SenderHalf, WwiPlan};
+use crate::seq::Seq;
 use crate::stats::ConnStats;
 use crate::txpipe::TxPipe;
 
@@ -153,6 +155,8 @@ pub struct StreamSocket {
     eof_delivered: bool,
     /// Transport failure observed; the socket is dead.
     broken: bool,
+    /// The error that broke the socket, when one was attributable.
+    last_error: Option<ExsError>,
 }
 
 impl StreamSocket {
@@ -627,11 +631,30 @@ impl StreamSocket {
         self.broken
     }
 
+    /// The typed error that broke the socket, when the failure was
+    /// attributable (peer protocol violation or backend verbs error).
+    /// `None` for raw transport failures reported only as a CQE status.
+    pub fn last_error(&self) -> Option<&ExsError> {
+        self.last_error.as_ref()
+    }
+
     fn mark_broken(&mut self) {
         if !self.broken {
             self.broken = true;
             self.events.push(ExsEvent::ConnectionError);
         }
+    }
+
+    /// Records a typed failure and breaks the connection. A malformed
+    /// peer kills this socket, never the process.
+    fn fail(&mut self, e: ExsError) {
+        if matches!(e, ExsError::Protocol(_)) {
+            self.stats.protocol_errors += 1;
+        }
+        if self.last_error.is_none() {
+            self.last_error = Some(e);
+        }
+        self.mark_broken();
     }
 
     /// Drives the socket from a node wake: drains both completion
@@ -684,23 +707,23 @@ impl StreamSocket {
             self.mark_broken();
             return;
         }
+        if let Err(e) = self.try_on_recv_cqe(api, cqe) {
+            self.fail(e);
+        }
+    }
+
+    /// The fallible body of [`StreamSocket::on_recv_cqe`]: everything in
+    /// here is driven by bytes the peer controls, so every malformed
+    /// input surfaces as an [`ExsError`] that breaks this connection
+    /// instead of aborting the process.
+    fn try_on_recv_cqe(&mut self, api: &mut impl VerbsPort, cqe: Cqe) -> Result<(), ExsError> {
         api.charge_cqe_cost();
         match cqe.opcode {
             WcOpcode::RecvRdmaWithImm => {
-                let (kind, len) = decode_imm(cqe.imm.expect("WWI carries imm"));
+                let imm = cqe.imm.ok_or(ProtocolError::MissingImm)?;
+                let (kind, len) = decode_imm(imm);
                 debug_assert_eq!(len, cqe.byte_len, "imm length mismatch");
-                let mut actions = std::mem::take(&mut self.actions_scratch);
-                match kind {
-                    TransferKind::Direct => {
-                        self.receiver.on_direct(len, &mut self.stats, &mut actions)
-                    }
-                    TransferKind::Indirect => {
-                        self.receiver
-                            .on_indirect(len, &mut self.stats, &mut actions)
-                    }
-                }
-                self.execute_actions(api, &mut actions);
-                self.actions_scratch = actions;
+                self.apply_transfer(api, kind, len)?;
             }
             WcOpcode::Recv => {
                 // Control message: parse from the slot buffer.
@@ -710,16 +733,31 @@ impl StreamSocket {
                     self.ctrl_mr.key,
                     self.ctrl_mr.addr + slot * CTRL_SLOT,
                     &mut buf,
-                )
-                .expect("control slot read");
-                let msg = CtrlMsg::decode(&buf).expect("control message decode");
+                )?;
+                let msg = CtrlMsg::decode(&buf)?;
                 self.peer_credits += msg.credit_return;
                 match msg.ctrl {
-                    Ctrl::Advert(ad) => self.sender.push_advert(ad, &mut self.stats),
-                    Ctrl::Ack { freed } => self.sender.on_ack(freed, &mut self.stats),
+                    Ctrl::Advert(ad) => self.sender.push_advert(ad, &mut self.stats)?,
+                    Ctrl::Ack { freed } => self.sender.on_ack(freed, &mut self.stats)?,
                     Ctrl::Credit => {}
                     Ctrl::Fin { final_seq } => {
-                        debug_assert!(self.peer_fin.is_none(), "duplicate FIN");
+                        if self.peer_fin.is_some() {
+                            return Err(ProtocolError::DuplicateFin.into());
+                        }
+                        // The FIN rides the FIFO channel behind the last
+                        // data transfer, so every stream byte has already
+                        // arrived: delivered (`seq`) plus still buffered.
+                        let arrived = self.receiver.seq().0 + self.receiver.buffered();
+                        match Seq(final_seq).checked_distance_from(self.receiver.seq()) {
+                            Some(d) if d == self.receiver.buffered() => {}
+                            _ => {
+                                return Err(ProtocolError::FinSeqMismatch {
+                                    claimed: final_seq,
+                                    arrived,
+                                }
+                                .into());
+                            }
+                        }
                         self.peer_fin = Some(final_seq);
                     }
                     Ctrl::DataNotify { imm } => {
@@ -728,29 +766,38 @@ impl StreamSocket {
                         // the notification the native path carries as
                         // immediate data.
                         let (kind, len) = decode_imm(imm);
-                        let mut actions = std::mem::take(&mut self.actions_scratch);
-                        match kind {
-                            TransferKind::Direct => {
-                                self.receiver.on_direct(len, &mut self.stats, &mut actions)
-                            }
-                            TransferKind::Indirect => {
-                                self.receiver
-                                    .on_indirect(len, &mut self.stats, &mut actions)
-                            }
-                        }
-                        self.execute_actions(api, &mut actions);
-                        self.actions_scratch = actions;
+                        self.apply_transfer(api, kind, len)?;
                     }
                 }
             }
-            other => panic!("unexpected receive-side completion {other:?}"),
+            _ => return Err(ProtocolError::UnexpectedOpcode.into()),
         }
         // Re-post the consumed slot immediately and account the return.
         let slot = cqe.wr_id;
         let sge = self.ctrl_mr.sge(slot * CTRL_SLOT, CTRL_SLOT as u32);
-        api.post_recv(self.qpn, RecvWr::new(slot, sge))
-            .expect("re-posting control receive");
+        api.post_recv(self.qpn, RecvWr::new(slot, sge))?;
         self.owed_credits += 1;
+        Ok(())
+    }
+
+    /// Feeds one arriving transfer to the receiver half, preserving the
+    /// action scratch buffer across the fallible call.
+    fn apply_transfer(
+        &mut self,
+        api: &mut impl VerbsPort,
+        kind: TransferKind,
+        len: u32,
+    ) -> Result<(), ExsError> {
+        let mut actions = std::mem::take(&mut self.actions_scratch);
+        let res = match kind {
+            TransferKind::Direct => self.receiver.on_direct(len, &mut self.stats, &mut actions),
+            TransferKind::Indirect => self
+                .receiver
+                .on_indirect(len, &mut self.stats, &mut actions),
+        };
+        self.execute_actions(api, &mut actions);
+        self.actions_scratch = actions;
+        res.map_err(ExsError::from)
     }
 
     pub(crate) fn on_send_cqe(&mut self, api: &mut impl VerbsPort, cqe: Cqe) {
@@ -1063,6 +1110,7 @@ impl PreparedSocket {
             peer_fin: None,
             eof_delivered: false,
             broken: false,
+            last_error: None,
             cfg: self.cfg,
         }
     }

@@ -27,6 +27,7 @@ use rdma_verbs::{Access, CqId, Cqe, MrInfo, MrKey, QpCaps, QpNum, RecvWr, Result
 
 use crate::config::ExsConfig;
 use crate::mempool::{MemPool, MrLease};
+use crate::mux::MuxEndpoint;
 use crate::port::VerbsPort;
 use crate::reactor::{ConnId, Reactor, ReactorConfig};
 use crate::stats::{ConnStats, PoolStats};
@@ -170,6 +171,60 @@ pub fn connect_sockets_over(
     let (pb, ib) =
         PreparedSocket::from_raw(b.id(), b_qp, b_scq, b_rcq, cfg.clone(), b_ring, b_ctrl);
     (pa.complete(ib), pb.complete(ia))
+}
+
+/// Establishes every pending transport-pool slot between two
+/// [`MuxEndpoint`]s over the real-thread fabric — the threaded
+/// analogue of [`crate::mux::connect_mux_pair`]. Each endpoint gets
+/// (or keeps) one shared CQ pair; one QP per pending slot is created
+/// against it on both sides, connected, and the out-of-band parameter
+/// exchange runs through [`MuxEndpoint::prepare_transport`] /
+/// [`MuxEndpoint::connect_transport`].
+pub fn connect_mux_over(
+    net: &ThreadNet,
+    a: (&Arc<ThreadNode>, &mut MuxEndpoint),
+    b: (&Arc<ThreadNode>, &mut MuxEndpoint),
+) {
+    let (an, a_ep) = a;
+    let (bn, b_ep) = b;
+    let caps = MuxEndpoint::transport_caps(a_ep.config());
+    let cq_depth = MuxEndpoint::shared_cq_depth(a_ep.config());
+    let mut slots = a_ep.pending_slots();
+    for s in b_ep.pending_slots() {
+        if !slots.contains(&s) {
+            slots.push(s);
+        }
+    }
+    slots.sort_unstable();
+    for slot in slots {
+        if a_ep.slot_qpn(slot).is_some() || b_ep.slot_qpn(slot).is_some() {
+            continue;
+        }
+        if a_ep.cqs().is_none() {
+            let (s, r) = an.with_hca(|h| (h.create_cq(cq_depth), h.create_cq(cq_depth)));
+            a_ep.set_cqs(s, r);
+        }
+        if b_ep.cqs().is_none() {
+            let (s, r) = bn.with_hca(|h| (h.create_cq(cq_depth), h.create_cq(cq_depth)));
+            b_ep.set_cqs(s, r);
+        }
+        let (a_scq, a_rcq) = a_ep.cqs().expect("just set");
+        let (b_scq, b_rcq) = b_ep.cqs().expect("just set");
+        let a_qp = an.with_hca(|h| h.create_qp(a_scq, a_rcq, caps).expect("create mux qp"));
+        let b_qp = bn.with_hca(|h| h.create_qp(b_scq, b_rcq, caps).expect("create mux qp"));
+        an.with_hca(|h| h.connect_qp(a_qp, (bn.id(), b_qp)).expect("connect a"));
+        bn.with_hca(|h| h.connect_qp(b_qp, (an.id(), a_qp)).expect("connect b"));
+        let ia = {
+            let mut port = ThreadPort::new(net, an);
+            a_ep.prepare_transport(&mut port, slot, a_qp, a_scq, a_rcq)
+        };
+        let ib = {
+            let mut port = ThreadPort::new(net, bn);
+            b_ep.prepare_transport(&mut port, slot, b_qp, b_scq, b_rcq)
+        };
+        a_ep.connect_transport(slot, ib);
+        b_ep.connect_transport(slot, ia);
+    }
 }
 
 #[derive(Default)]

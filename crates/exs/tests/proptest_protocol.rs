@@ -224,10 +224,12 @@ impl Model {
                     if msg.indirect {
                         self.indirect_since_last_advert = true;
                         self.receiver
-                            .on_indirect(msg.len, &mut self.stats_r, &mut actions);
+                            .on_indirect(msg.len, &mut self.stats_r, &mut actions)
+                            .unwrap();
                     } else {
                         self.receiver
-                            .on_direct(msg.len, &mut self.stats_r, &mut actions);
+                            .on_direct(msg.len, &mut self.stats_r, &mut actions)
+                            .unwrap();
                     }
                     self.run_actions(actions);
                 }
@@ -235,8 +237,12 @@ impl Model {
             Step::DeliverCtrl => {
                 if let Some(ctrl) = self.ctrl_channel.pop_front() {
                     match ctrl {
-                        CtrlModel::Advert(ad) => self.sender.push_advert(ad, &mut self.stats_s),
-                        CtrlModel::Ack(freed) => self.sender.on_ack(freed, &mut self.stats_s),
+                        CtrlModel::Advert(ad) => {
+                            self.sender.push_advert(ad, &mut self.stats_s).unwrap()
+                        }
+                        CtrlModel::Ack(freed) => {
+                            self.sender.on_ack(freed, &mut self.stats_s).unwrap()
+                        }
                     }
                 }
             }

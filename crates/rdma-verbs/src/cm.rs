@@ -51,9 +51,29 @@ pub fn connect_pair_on_cqs(
     cq_depth: usize,
     b_cqs: Option<(CqId, CqId)>,
 ) -> Result<(ConnHalf, ConnHalf)> {
+    connect_pool(net, a, b, caps, cq_depth, None, b_cqs)
+}
+
+/// The most general pairwise connect: either side may complete onto
+/// caller-provided `(send_cq, recv_cq)` instead of fresh ones.
+///
+/// This is the shape a shared-transport pool needs: *both* endpoints
+/// multiplex many QPs onto one CQ pair each, so every member QP of the
+/// pool is created against the pool's shared CQs on its own side.
+pub fn connect_pool(
+    net: &mut SimNet,
+    a: NodeId,
+    b: NodeId,
+    caps: QpCaps,
+    cq_depth: usize,
+    a_cqs: Option<(CqId, CqId)>,
+    b_cqs: Option<(CqId, CqId)>,
+) -> Result<(ConnHalf, ConnHalf)> {
     let (a_send, a_recv, a_qp) = net.with_api(a, |api| {
-        let send_cq = api.create_cq(cq_depth);
-        let recv_cq = api.create_cq(cq_depth);
+        let (send_cq, recv_cq) = match a_cqs {
+            Some(cqs) => cqs,
+            None => (api.create_cq(cq_depth), api.create_cq(cq_depth)),
+        };
         let qpn = api.create_qp(send_cq, recv_cq, caps)?;
         Ok::<_, crate::types::VerbsError>((send_cq, recv_cq, qpn))
     })?;
@@ -116,5 +136,43 @@ mod tests {
             assert_eq!(qp.remote(), Some((a, ha.qpn)));
         });
         assert_ne!(ha.send_cq, ha.recv_cq);
+    }
+
+    #[test]
+    fn connect_pool_shares_cqs_on_both_sides() {
+        let mut net = SimNet::new();
+        let a = net.add_node(HostModel::free(), HcaConfig::default());
+        let b = net.add_node(HostModel::free(), HcaConfig::default());
+        net.connect_nodes(
+            a,
+            b,
+            LinkConfig::simple(10_000_000_000, SimDuration::from_micros(1)),
+            0,
+        );
+        let a_cqs = net.with_api(a, |api| (api.create_cq(256), api.create_cq(256)));
+        let b_cqs = net.with_api(b, |api| (api.create_cq(256), api.create_cq(256)));
+        let mut halves = Vec::new();
+        for _ in 0..3 {
+            halves.push(
+                connect_pool(
+                    &mut net,
+                    a,
+                    b,
+                    QpCaps::default(),
+                    128,
+                    Some(a_cqs),
+                    Some(b_cqs),
+                )
+                .unwrap(),
+            );
+        }
+        // Every pool member completes onto the one shared CQ pair per
+        // side, and each connect yields a distinct QP.
+        for (ha, hb) in &halves {
+            assert_eq!((ha.send_cq, ha.recv_cq), a_cqs);
+            assert_eq!((hb.send_cq, hb.recv_cq), b_cqs);
+        }
+        assert_ne!(halves[0].0.qpn, halves[1].0.qpn);
+        assert_ne!(halves[1].1.qpn, halves[2].1.qpn);
     }
 }

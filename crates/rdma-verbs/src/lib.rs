@@ -42,7 +42,7 @@ pub mod threaded;
 pub mod types;
 pub mod wire;
 
-pub use cm::{connect_pair, connect_pair_on_cqs, ConnHalf};
+pub use cm::{connect_pair, connect_pair_on_cqs, connect_pool, ConnHalf};
 pub use cq::CompletionQueue;
 pub use hca::{Effect, HcaConfig, HcaCore, PreparedSend};
 pub use host::{CpuMeter, HostModel};
