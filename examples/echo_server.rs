@@ -1,18 +1,27 @@
-//! Echo server: one reactor serving 100 concurrent EXS connections.
+//! Echo server: 100 concurrent async tasks on one reactor-backed
+//! executor.
 //!
-//! The "serving many connections" pattern: every accepted stream
-//! completes onto two shared CQs, a single [`exs::Reactor`] drains them
-//! in batches and reports level-triggered readiness, and the
-//! application services only the connections that have work. Each of
-//! the 100 clients plays ping-pong (send a block, wait for its echo)
-//! for a few rounds and then closes; the server echoes until it sees
-//! EOF, then half-closes its side.
+//! The "serving many connections" pattern, written the way production
+//! Rust wants to write it: every accepted stream completes onto two
+//! shared CQs, a single [`exs::Reactor`] drains them in batches — but
+//! instead of a hand-rolled readiness/event loop, each connection is
+//! one `async` task on an [`exs::aio::Executor`] that simply awaits
+//! `recv_some` / `send_all` in a loop. The executor's single `turn`
+//! is the only code touching the verbs port; tasks park on wakers
+//! keyed by connection id. Each of the 100 clients plays ping-pong
+//! (send a block, await its echo) for a few rounds and then closes;
+//! the server task echoes until end-of-stream, then half-closes.
 //!
 //! Run with: `cargo run --release --example echo_server`
 
-use rdma_stream::exs::{ConnId, ExsConfig, ExsEvent, Reactor, ReactorConfig, StreamSocket};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rdma_stream::exs::{
+    Executor, ExsConfig, ExsError, Reactor, ReactorConfig, SimDriver, StreamSocket,
+};
 use rdma_stream::simnet::SimTime;
-use rdma_stream::verbs::{profiles, Access, MrInfo, NodeApi, NodeApp, NodeId, SimNet};
+use rdma_stream::verbs::{profiles, NodeApp, NodeId, SimNet};
 
 const CLIENTS: usize = 100;
 const ROUNDS: usize = 3;
@@ -20,164 +29,6 @@ const MSG: usize = 4096;
 
 fn pattern(conn: usize, round: usize, i: usize) -> u8 {
     (i.wrapping_mul(31) ^ conn.wrapping_mul(7) ^ round.wrapping_mul(131)) as u8
-}
-
-struct EchoServer {
-    reactor: Reactor,
-    recv_mrs: Vec<MrInfo>,
-    send_mrs: Vec<MrInfo>,
-    closed: Vec<bool>,
-    shutdown_sent: Vec<bool>,
-    echoed_bytes: u64,
-    next_id: u64,
-    scratch: Vec<u8>,
-}
-
-impl EchoServer {
-    fn post_recv(&mut self, api: &mut NodeApi<'_>, conn: ConnId) {
-        let mr = self.recv_mrs[conn.0 as usize];
-        let id = self.next_id;
-        self.next_id += 1;
-        self.reactor
-            .conn_mut(conn)
-            .exs_recv(api, &mr, 0, MSG as u32, false, id);
-    }
-
-    fn handle_conn(&mut self, api: &mut NodeApi<'_>, conn: ConnId) -> bool {
-        let idx = conn.0 as usize;
-        let events = self.reactor.take_events(conn);
-        let progressed = !events.is_empty();
-        for ev in events {
-            match ev {
-                ExsEvent::RecvComplete { len, .. } if len > 0 => {
-                    // Echo the block back: read it out of the receive
-                    // region, stage it in the send region (stable until
-                    // SendComplete; ping-pong keeps one echo in flight).
-                    let rmr = self.recv_mrs[idx];
-                    let smr = self.send_mrs[idx];
-                    self.scratch.resize(len as usize, 0);
-                    api.read_mr(rmr.key, rmr.addr, &mut self.scratch).unwrap();
-                    api.write_mr(smr.key, smr.addr, &self.scratch).unwrap();
-                    let id = self.next_id;
-                    self.next_id += 1;
-                    self.reactor
-                        .conn_mut(conn)
-                        .exs_send(api, &smr, 0, len as u64, id);
-                    self.echoed_bytes += len as u64;
-                    self.post_recv(api, conn);
-                }
-                ExsEvent::RecvComplete { .. } => {} // zero-length: EOF path
-                ExsEvent::PeerClosed => {
-                    self.closed[idx] = true;
-                    if !self.shutdown_sent[idx] {
-                        // Everything the client sent is echoed or queued;
-                        // close our half too.
-                        self.reactor.conn_mut(conn).exs_shutdown(api);
-                        self.shutdown_sent[idx] = true;
-                    }
-                }
-                ExsEvent::ConnectionError => panic!("echo conn {idx} failed"),
-                ExsEvent::SendComplete { .. } => {}
-            }
-        }
-        progressed
-    }
-}
-
-impl NodeApp for EchoServer {
-    fn on_start(&mut self, api: &mut NodeApi<'_>) {
-        for conn in self.reactor.conn_ids() {
-            self.post_recv(api, conn);
-        }
-    }
-    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
-        loop {
-            let ready = self.reactor.poll(api);
-            let mut progressed = false;
-            for (conn, r) in ready {
-                if r.readable || r.closed || r.error {
-                    progressed |= self.handle_conn(api, conn);
-                }
-            }
-            if !progressed && !self.reactor.has_backlog() {
-                break;
-            }
-        }
-    }
-    fn is_done(&self) -> bool {
-        self.closed.iter().all(|&c| c)
-            && self
-                .reactor
-                .conn_ids()
-                .into_iter()
-                .all(|c| self.reactor.conn(c).sends_drained())
-    }
-}
-
-struct EchoClient {
-    sock: StreamSocket,
-    idx: usize,
-    mr: MrInfo,
-    echo_mr: MrInfo,
-    round: usize,
-    eof: bool,
-    shutdown: bool,
-    next_id: u64,
-}
-
-impl EchoClient {
-    fn send_round(&mut self, api: &mut NodeApi<'_>) {
-        let data: Vec<u8> = (0..MSG).map(|i| pattern(self.idx, self.round, i)).collect();
-        api.write_mr(self.mr.key, self.mr.addr, &data).unwrap();
-        let id = self.next_id;
-        self.next_id += 1;
-        self.sock.exs_send(api, &self.mr, 0, MSG as u64, id);
-        let id = self.next_id;
-        self.next_id += 1;
-        // MSG_WAITALL: the echo may arrive in pieces; complete when full.
-        self.sock
-            .exs_recv(api, &self.echo_mr, 0, MSG as u32, true, id);
-    }
-}
-
-impl NodeApp for EchoClient {
-    fn on_start(&mut self, api: &mut NodeApi<'_>) {
-        self.send_round(api);
-    }
-    fn on_wake(&mut self, api: &mut NodeApi<'_>) {
-        self.sock.handle_wake(api);
-        for ev in self.sock.take_events() {
-            match ev {
-                ExsEvent::RecvComplete { len, .. } if len > 0 => {
-                    assert_eq!(len as usize, MSG, "client {} short echo", self.idx);
-                    let mut buf = vec![0u8; MSG];
-                    api.read_mr(self.echo_mr.key, self.echo_mr.addr, &mut buf)
-                        .unwrap();
-                    for (i, &b) in buf.iter().enumerate() {
-                        assert_eq!(
-                            b,
-                            pattern(self.idx, self.round, i),
-                            "client {} echo corrupted at {i}",
-                            self.idx
-                        );
-                    }
-                    self.round += 1;
-                    if self.round < ROUNDS {
-                        self.send_round(api);
-                    } else if !self.shutdown {
-                        self.sock.exs_shutdown(api);
-                        self.shutdown = true;
-                    }
-                }
-                ExsEvent::PeerClosed => self.eof = true,
-                ExsEvent::ConnectionError => panic!("client {} conn failed", self.idx),
-                _ => {}
-            }
-        }
-    }
-    fn is_done(&self) -> bool {
-        self.shutdown && self.eof
-    }
 }
 
 fn main() {
@@ -208,62 +59,92 @@ fn main() {
             api.create_cq(per_conn * CLIENTS),
         )
     });
-    let mut reactor = Reactor::new(send_cq, recv_cq, ReactorConfig::default());
+    let mut server_reactor = Reactor::new(send_cq, recv_cq, ReactorConfig::default());
 
-    let mut clients = Vec::with_capacity(CLIENTS);
-    let mut recv_mrs = Vec::new();
-    let mut send_mrs = Vec::new();
+    // Accept all server-side sockets; keep the client halves with
+    // their ids for the per-node client executors below.
+    let mut client_socks: Vec<(usize, NodeId, StreamSocket)> = Vec::with_capacity(CLIENTS);
+    let mut server_conns = Vec::with_capacity(CLIENTS);
     for (idx, &cnode) in client_nodes.iter().enumerate() {
         let (csock, ssock) =
             StreamSocket::pair_shared(&mut net, cnode, server_node, send_cq, recv_cq, &cfg);
-        reactor.accept(ssock);
-        let (mr, echo_mr) = net.with_api(cnode, |api| {
-            (
-                api.register_mr(MSG, Access::NONE),
-                api.register_mr(MSG, Access::local_remote_write()),
-            )
-        });
-        clients.push(EchoClient {
-            sock: csock,
-            idx,
-            mr,
-            echo_mr,
-            round: 0,
-            eof: false,
-            shutdown: false,
-            next_id: 0,
-        });
-        net.with_api(server_node, |api| {
-            recv_mrs.push(api.register_mr(MSG, Access::local_remote_write()));
-            send_mrs.push(api.register_mr(MSG, Access::NONE));
-        });
+        server_conns.push(server_reactor.accept(ssock));
+        client_socks.push((idx, cnode, csock));
     }
 
-    let mut server = EchoServer {
-        reactor,
-        recv_mrs,
-        send_mrs,
-        closed: vec![false; CLIENTS],
-        shutdown_sent: vec![false; CLIENTS],
-        echoed_bytes: 0,
-        next_id: 0,
-        scratch: Vec::new(),
-    };
+    // Server: one executor over the shared reactor, one echo task per
+    // connection. `send_all` takes the received buffer by value — the
+    // echo is literally "await bytes, send them back".
+    let server_ex = Executor::new(server_reactor);
+    let echoed = Rc::new(RefCell::new(0u64));
+    for &conn in &server_conns {
+        let stream = server_ex.handle().stream_with(conn, MSG as u32, 2);
+        let echoed = Rc::clone(&echoed);
+        server_ex.handle().spawn(async move {
+            loop {
+                match stream.recv_some(MSG).await {
+                    Ok(bytes) => {
+                        *echoed.borrow_mut() += bytes.len() as u64;
+                        stream.send_all(bytes).await.expect("echo send failed");
+                    }
+                    Err(ExsError::Eof) => break,
+                    Err(e) => panic!("echo conn {} failed: {e}", conn.0),
+                }
+            }
+            // Everything the client sent is echoed; close our half too.
+            stream.shutdown().await.expect("echo shutdown failed");
+        });
+    }
+    let mut server = SimDriver::new(server_ex);
+
+    // Clients: each node gets its own small executor over a private
+    // reactor (its one socket's CQs), running a single ping-pong task.
+    // Same async code shape as the server — that's the point.
+    let mut client_drivers: Vec<SimDriver> = Vec::with_capacity(CLIENTS);
+    for (idx, _cnode, csock) in client_socks {
+        let mut reactor = Reactor::new(csock.send_cq(), csock.recv_cq(), ReactorConfig::default());
+        let conn = reactor.accept(csock);
+        let ex = Executor::new(reactor);
+        let stream = ex.handle().stream_with(conn, MSG as u32, 2);
+        ex.handle().spawn(async move {
+            for round in 0..ROUNDS {
+                let data: Vec<u8> = (0..MSG).map(|i| pattern(idx, round, i)).collect();
+                stream.send_all(data).await.expect("client send failed");
+                let echo = stream.recv_exact(MSG).await.expect("client recv failed");
+                for (i, &b) in echo.iter().enumerate() {
+                    assert_eq!(
+                        b,
+                        pattern(idx, round, i),
+                        "client {idx} echo corrupted at {i}"
+                    );
+                }
+            }
+            stream.shutdown().await.expect("client shutdown failed");
+            // The server half-closes after echoing everything; the next
+            // read must see clean end-of-stream, not data.
+            match stream.recv_some(MSG).await {
+                Err(ExsError::Eof) => {}
+                other => panic!("client {idx} expected EOF, got {other:?}"),
+            }
+        });
+        client_drivers.push(SimDriver::new(ex));
+    }
 
     let mut apps: Vec<&mut dyn NodeApp> = Vec::with_capacity(1 + CLIENTS);
     apps.push(&mut server);
-    for c in clients.iter_mut() {
-        apps.push(c);
+    for d in client_drivers.iter_mut() {
+        apps.push(d);
     }
     let outcome = net.run(&mut apps, SimTime::from_secs(60));
     assert!(outcome.completed, "echo workload stalled: {outcome:?}");
 
-    let rs = server.reactor.stats();
-    let agg = server.reactor.aggregate_conn_stats();
-    println!("echo server: {CLIENTS} connections x {ROUNDS} rounds x {MSG} B");
+    let ex = server.executor_ref();
+    let (rs, agg) = ex.with_reactor(|r| (r.stats().clone(), r.aggregate_conn_stats()));
+    let aio = ex.stats();
+    println!("echo server: {CLIENTS} async tasks x {ROUNDS} rounds x {MSG} B");
     println!(
         "  echoed {} B in {:.3} ms of virtual time ({} sim events)",
-        server.echoed_bytes,
+        echoed.borrow(),
         outcome.end.as_secs_f64() * 1e3,
         outcome.events
     );
@@ -277,10 +158,19 @@ fn main() {
         rs.deferrals
     );
     println!(
+        "  executor: {} tasks, {} wakeups, {} polls ({:.2} polls/wake, {:.3} spurious)",
+        aio.tasks_completed,
+        aio.wakeups,
+        aio.polls,
+        aio.polls_per_wake(),
+        aio.spurious_wake_ratio()
+    );
+    println!(
         "  streams: direct ratio {:.3}, {} B received, {} B sent back",
         agg.direct_ratio(),
         agg.bytes_received,
         agg.bytes_sent
     );
-    assert_eq!(server.echoed_bytes, (CLIENTS * ROUNDS * MSG) as u64);
+    assert_eq!(aio.tasks_completed, CLIENTS as u64);
+    assert_eq!(*echoed.borrow(), (CLIENTS * ROUNDS * MSG) as u64);
 }
