@@ -20,9 +20,10 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use exs::{
-    connect_mux_pair, AioStats, ConnId, ConnStats, DirectPolicy, Executor, ExsConfig, ExsError,
-    ExsEvent, MemPool, MemPoolConfig, MrLease, MuxEndpoint, MuxEvent, MuxId, PoolStats, Reactor,
-    ReactorConfig, ReactorStats, SimDriver, StreamSocket,
+    connect_mux_pair, shard::choose_shard, AioStats, ConnId, ConnStats, DirectPolicy, Executor,
+    ExsConfig, ExsError, ExsEvent, MemPool, MemPoolConfig, MrLease, MuxEndpoint, MuxEvent, MuxId,
+    PoolStats, Reactor, ReactorConfig, ReactorPool, ReactorStats, ShardBalance, ShardConfig,
+    ShardHandle, ShardPolicy, ShardStats, SimShardDriver, StreamSocket,
 };
 use rdma_verbs::{
     Access, FabricModel, FabricStats, HwProfile, MrInfo, NodeApi, NodeApp, NodeId, SimNet,
@@ -132,6 +133,16 @@ pub struct FanInSpec {
     /// `pooled` on the server side (the executor's readahead buffers
     /// are always pool leases).
     pub aio: bool,
+    /// Reactor shards at the server (0/1 ⇒ one reactor, the classic
+    /// single-loop server). With N > 1 the server runs a
+    /// [`ReactorPool`]: each shard gets its own CQ pair, connections
+    /// are routed once at accept by `shard_policy`, and the sim driver
+    /// interleaves the shards deterministically — delivered bytes and
+    /// digests are identical to the single-shard run. Not wired for
+    /// `mux` mode.
+    pub shards: usize,
+    /// Placement policy for `shards > 1`.
+    pub shard_policy: ShardPolicy,
     /// Workload seed (host jitter, link seeds, payload pattern).
     pub seed: u64,
     /// Bandwidth-contention model for the simulated fabric.
@@ -163,6 +174,8 @@ impl FanInSpec {
             pooled: false,
             mux: false,
             aio: false,
+            shards: 1,
+            shard_policy: ShardPolicy::RoundRobin,
             seed: 1,
             fabric: FabricModel::Fifo,
             time_limit: SimDuration::from_secs(600),
@@ -179,6 +192,17 @@ impl FanInSpec {
 
     fn effective_prepost(&self) -> usize {
         self.prepost_recvs.max(1)
+    }
+
+    fn effective_shards(&self) -> usize {
+        self.shards.max(1)
+    }
+
+    fn shard_cfg(&self) -> ShardConfig {
+        ShardConfig {
+            shards: self.effective_shards(),
+            policy: self.shard_policy,
+        }
     }
 }
 
@@ -231,6 +255,14 @@ pub struct FanInReport {
     /// cancellations) for an aio-mode run; `None` on the callback
     /// paths.
     pub aio: Option<AioStats>,
+    /// Per-shard service-loop telemetry (placement, steals, poll and
+    /// dispatch volume, busy ratio where a wall clock exists). Present
+    /// on every sharded-capable path — a single-shard run reports one
+    /// entry, so snapshots across shard counts stay structurally
+    /// comparable. `None` only in mux mode (not wired for shards).
+    pub shard_stats: Option<Vec<ShardStats>>,
+    /// Per-shard async-executor counters for a sharded aio run.
+    pub aio_per_shard: Option<Vec<AioStats>>,
     /// Simulator events processed.
     pub events: u64,
 }
@@ -323,6 +355,35 @@ impl FanInReport {
         }
         if let Some(aio) = &self.aio {
             out.push_str(&format!("\"aio\":{},", aio.to_json()));
+        }
+        if let Some(shards) = &self.shard_stats {
+            let bal = ShardBalance::of(shards);
+            out.push_str(&format!(
+                "\"shards\":{{\"count\":{},\"max_conns_per_shard\":{},\
+                 \"mean_conns_per_shard\":{:.3},\"imbalance\":{:.6},\"per_shard\":[",
+                shards.len(),
+                bal.max_conns,
+                bal.mean_conns,
+                bal.imbalance(),
+            ));
+            for (i, s) in shards.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&s.to_json());
+            }
+            out.push(']');
+            if let Some(per_shard) = &self.aio_per_shard {
+                out.push_str(",\"aio_per_shard\":[");
+                for (i, s) in per_shard.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&s.to_json());
+                }
+                out.push(']');
+            }
+            out.push_str("},");
         }
         out.push_str("\"digests\":[");
         for (i, d) in self.digests.iter().enumerate() {
@@ -464,10 +525,20 @@ impl NodeApp for FanInClient {
     }
 }
 
-/// The server: every accepted connection multiplexed through one
-/// [`Reactor`] over shared CQs, serviced to quiescence on each wake.
+/// The server: every accepted connection multiplexed through a
+/// [`ReactorPool`] (one shard ⇒ the classic single reactor over shared
+/// CQs), serviced to quiescence on each wake. The sim driver
+/// interleaves the shards in shard order, so a sharded run is exactly
+/// as deterministic as a single-loop run.
 struct ReactorServer {
-    reactor: Reactor,
+    pool: ReactorPool,
+    /// Global connection index → pool handle (shard + local id).
+    handles: Vec<ShardHandle>,
+    /// Pool handle → global connection index (pattern + digest
+    /// identity is keyed globally, not per shard).
+    idx_of: HashMap<ShardHandle, usize>,
+    /// Reusable readiness buffer for the service loop.
+    ready: Vec<(ShardHandle, exs::Readiness)>,
     /// Per-connection pre-posted receive slots (`prepost_recvs` buffers
     /// each).
     mrs: Vec<Vec<MrInfo>>,
@@ -494,9 +565,9 @@ impl ReactorServer {
     /// Consumes one ready connection's events and refills its
     /// pre-posted receive queue to full depth. Returns true if anything
     /// was consumed or posted (progress).
-    fn handle_conn(&mut self, api: &mut NodeApi<'_>, conn: ConnId) -> bool {
-        let idx = conn.0 as usize;
-        let events = self.reactor.take_events(conn);
+    fn handle_conn(&mut self, api: &mut NodeApi<'_>, idx: usize) -> bool {
+        let h = self.handles[idx];
+        let events = self.pool.shard_mut(h.shard).take_events(h.conn);
         let mut progressed = !events.is_empty();
         for ev in events {
             match ev {
@@ -540,35 +611,43 @@ impl ReactorServer {
             let mr = self.mrs[idx][slot];
             let id = self.next_id;
             self.next_id += 1;
-            self.reactor
-                .conn_mut(conn)
-                .exs_recv(api, &mr, 0, self.recv_len, false, id);
+            self.pool.shard_mut(h.shard).conn_mut(h.conn).exs_recv(
+                api,
+                &mr,
+                0,
+                self.recv_len,
+                false,
+                id,
+            );
             self.posted[idx].push_back((id, slot));
             progressed = true;
         }
         progressed
     }
 
-    /// Polls the reactor until quiescent: no connection made progress
-    /// and no CQ/budget backlog remains. Bounded because each iteration
-    /// consumes queued completions and each connection posts at most
-    /// one receive per iteration.
+    /// Polls every shard until quiescent: no connection made progress
+    /// and no CQ/budget backlog remains on any shard. Bounded because
+    /// each iteration consumes queued completions and each connection
+    /// posts at most one receive per iteration.
     fn service(&mut self, api: &mut NodeApi<'_>) {
+        let mut ready = std::mem::take(&mut self.ready);
         loop {
-            let ready = self.reactor.poll(api);
+            self.pool.poll_all_into(api, &mut ready);
             let mut progressed = false;
-            for (conn, r) in ready {
+            for &(h, r) in ready.iter() {
                 if r.readable || r.closed || r.error {
-                    progressed |= self.handle_conn(api, conn);
+                    let idx = self.idx_of[&h];
+                    progressed |= self.handle_conn(api, idx);
                 }
             }
             if self.finished_at.is_none() && self.is_done() {
                 self.finished_at = Some(api.now());
             }
-            if !progressed && !self.reactor.has_backlog() {
+            if !progressed && !self.pool.has_backlog() {
                 break;
             }
         }
+        self.ready = ready;
     }
 }
 
@@ -576,8 +655,8 @@ impl NodeApp for ReactorServer {
     fn on_start(&mut self, api: &mut NodeApi<'_>) {
         // Post the initial receive on every connection (none is
         // "readable" yet, so prime directly rather than via poll).
-        for conn in self.reactor.conn_ids() {
-            self.handle_conn(api, conn);
+        for idx in 0..self.handles.len() {
+            self.handle_conn(api, idx);
         }
     }
     fn on_wake(&mut self, api: &mut NodeApi<'_>) {
@@ -602,12 +681,17 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
         return run_fan_in_aio(spec);
     }
     if spec.mux {
+        assert!(
+            spec.effective_shards() == 1,
+            "sharded mux fan-in is not wired; use shards=1 with mux"
+        );
         return run_fan_in_mux(spec);
     }
     assert!(spec.conns >= 1, "need at least one connection");
     let expected = spec.msgs_per_conn as u64 * spec.msg_len;
     let recv_len = spec.effective_recv_len();
     let prepost = spec.effective_prepost();
+    let nshards = spec.effective_shards();
 
     let mut net = SimNet::new();
     net.set_fabric(spec.fabric.clone());
@@ -630,16 +714,23 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
         );
     }
 
-    // Shared CQs sized for every connection's worst case.
+    // Shared CQs sized for every connection's worst case — full size
+    // per shard, since a skewed policy may put most connections on one
+    // shard and CQ overflow is fatal.
     let setup_start = std::time::Instant::now();
     let per_conn_cq = spec.cfg.sq_depth * 2 + spec.cfg.credits as usize * 2;
-    let (send_cq, recv_cq) = net.with_api(server_node, |api| {
-        (
-            api.create_cq(per_conn_cq * spec.conns),
-            api.create_cq(per_conn_cq * spec.conns),
-        )
-    });
-    let mut reactor = Reactor::new(send_cq, recv_cq, spec.reactor);
+    let reactors: Vec<Reactor> = (0..nshards)
+        .map(|_| {
+            let (send_cq, recv_cq) = net.with_api(server_node, |api| {
+                (
+                    api.create_cq(per_conn_cq * spec.conns),
+                    api.create_cq(per_conn_cq * spec.conns),
+                )
+            });
+            Reactor::new(send_cq, recv_cq, spec.reactor)
+        })
+        .collect();
+    let mut pool = ReactorPool::new(reactors, spec.shard_cfg());
 
     // One pool per node in pooled mode: each client node's connections
     // share a pin-down cache, as does the server behind the reactor.
@@ -659,12 +750,19 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
     // Server-side receive leases: held for the whole run (the reactor
     // re-posts into the same buffer), released together at the end.
     let mut server_leases: Vec<MrLease> = Vec::new();
+    let mut handles = Vec::with_capacity(spec.conns);
+    let mut idx_of = HashMap::with_capacity(spec.conns);
     for idx in 0..spec.conns {
         let cnode = client_nodes[idx % nclients];
+        // Affinity policy keys on the client node, so one client's
+        // connections share a shard (and its caches).
+        let shard = pool.pick_shard(Some(cnode.0 as u64));
+        let (send_cq, recv_cq) = pool.shard_cqs(shard);
         let (csock, ssock) =
             StreamSocket::pair_shared(&mut net, cnode, server_node, send_cq, recv_cq, &spec.cfg);
-        let conn = reactor.accept(ssock);
-        assert_eq!(conn.0 as usize, idx, "accept order defines conn ids");
+        let handle = pool.accept_on(shard, ssock);
+        handles.push(handle);
+        idx_of.insert(handle, idx);
         let max_outstanding = spec.outstanding_sends.max(1);
         let slots = if spec.pooled {
             Vec::new()
@@ -707,7 +805,10 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
     let setup_wall = setup_start.elapsed();
 
     let mut server = ReactorServer {
-        reactor,
+        pool,
+        handles,
+        idx_of,
+        ready: Vec::new(),
         mrs: server_mrs,
         posted: (0..spec.conns).map(|_| VecDeque::new()).collect(),
         free: (0..spec.conns).map(|_| (0..prepost).collect()).collect(),
@@ -743,18 +844,24 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
     // serializing (overflow here would mean the per-conn sizing above
     // was wrong).
     net.with_api(server_node, |api| {
-        for conn in server.reactor.conn_ids() {
-            server.reactor.conn_mut(conn).sync_cq_stats(api);
+        for &h in &server.handles {
+            server
+                .pool
+                .shard_mut(h.shard)
+                .conn_mut(h.conn)
+                .sync_cq_stats(api);
         }
     });
     let fabric_stats = net.fabric_stats();
+    // Per-conn snapshots in *global* index order, regardless of which
+    // shard each connection landed on — snapshots across shard counts
+    // must stay row-for-row comparable.
     let mut per_conn: Vec<ConnStats> = server
-        .reactor
-        .conn_ids()
-        .into_iter()
-        .map(|c| server.reactor.conn(c).stats().clone())
+        .handles
+        .iter()
+        .map(|&h| server.pool.shard(h.shard).conn(h.conn).stats().clone())
         .collect();
-    let mut aggregate = server.reactor.aggregate_conn_stats();
+    let mut aggregate = server.pool.aggregate_conn_stats();
     if let Some(fs) = &fabric_stats {
         // Annotate every connection with its carrying flow's telemetry
         // (connections round-robin over client nodes; the flow is the
@@ -775,7 +882,8 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
             aggregate.record_fabric_flow(flow.achieved_mbps());
         }
     }
-    let reactor_stats = server.reactor.stats().clone();
+    let reactor_stats = server.pool.reactor_stats();
+    let shard_stats = server.pool.shard_stats();
     assert_eq!(reactor_stats.orphan_cqes, 0, "no completion went unrouted");
     assert_eq!(
         aggregate.bytes_received,
@@ -832,16 +940,19 @@ pub fn run_fan_in(spec: &FanInSpec) -> FanInReport {
         mux_footprint: None,
         mux_baseline: None,
         aio: None,
+        shard_stats: Some(shard_stats),
+        aio_per_shard: None,
         events: outcome.events,
     }
 }
 
-/// The aio-mode server node: a [`SimDriver`] pumping the async
-/// executor, plus a completion-time probe ([`ReactorServer`] records
-/// `finished_at` the same way, so the two modes' elapsed times are
-/// comparable).
+/// The aio-mode server node: a [`SimShardDriver`] pumping one async
+/// executor per shard (one shard ⇒ the same turn sequence as
+/// [`SimDriver`]), plus a completion-time probe ([`ReactorServer`]
+/// records `finished_at` the same way, so the two modes' elapsed times
+/// are comparable).
 struct AioFanInServer {
-    drv: SimDriver,
+    drv: SimShardDriver,
     finished_at: Option<SimTime>,
 }
 
@@ -892,6 +1003,7 @@ pub fn run_fan_in_aio(spec: &FanInSpec) -> FanInReport {
     let expected = spec.msgs_per_conn as u64 * spec.msg_len;
     let recv_len = spec.effective_recv_len();
     let prepost = spec.effective_prepost();
+    let nshards = spec.effective_shards();
 
     let mut net = SimNet::new();
     net.set_fabric(spec.fabric.clone());
@@ -916,13 +1028,20 @@ pub fn run_fan_in_aio(spec: &FanInSpec) -> FanInReport {
 
     let setup_start = std::time::Instant::now();
     let per_conn_cq = spec.cfg.sq_depth * 2 + spec.cfg.credits as usize * 2;
-    let (send_cq, recv_cq) = net.with_api(server_node, |api| {
-        (
-            api.create_cq(per_conn_cq * spec.conns),
-            api.create_cq(per_conn_cq * spec.conns),
-        )
-    });
-    let mut reactor = Reactor::new(send_cq, recv_cq, spec.reactor);
+    // One reactor (and later one executor) per shard, each over its own
+    // CQ pair — sized for the full fan-in per shard, since a skewed
+    // policy may pile every connection on one shard.
+    let mut reactors: Vec<Reactor> = (0..nshards)
+        .map(|_| {
+            let (send_cq, recv_cq) = net.with_api(server_node, |api| {
+                (
+                    api.create_cq(per_conn_cq * spec.conns),
+                    api.create_cq(per_conn_cq * spec.conns),
+                )
+            });
+            Reactor::new(send_cq, recv_cq, spec.reactor)
+        })
+        .collect();
 
     let mut clients: Vec<FanInClient> = (0..nclients)
         .map(|_| FanInClient {
@@ -935,14 +1054,34 @@ pub fn run_fan_in_aio(spec: &FanInSpec) -> FanInReport {
             scratch: Vec::new(),
         })
         .collect();
-    let mut conn_ids = Vec::with_capacity(spec.conns);
+    // Placement mirrors the callback path: the same `choose_shard`
+    // decision sequence for the same inputs, so a conn lands on the
+    // same shard in both server modes.
+    let mut conn_locs: Vec<(usize, ConnId)> = Vec::with_capacity(spec.conns);
+    let mut assigned = vec![0u64; nshards];
+    let mut steals = vec![0u64; nshards];
+    let mut rr = 0usize;
     for idx in 0..spec.conns {
         let cnode = client_nodes[idx % nclients];
+        let shard = {
+            let reactors = &reactors;
+            let (chosen, stole) =
+                choose_shard(spec.shard_policy, rr, nshards, Some(cnode.0 as u64), |s| {
+                    let st = reactors[s].stats();
+                    st.conns_added - st.conns_removed
+                });
+            rr = (rr + 1) % nshards;
+            assigned[chosen] += 1;
+            if stole {
+                steals[chosen] += 1;
+            }
+            chosen
+        };
+        let (send_cq, recv_cq) = (reactors[shard].send_cq(), reactors[shard].recv_cq());
         let (csock, ssock) =
             StreamSocket::pair_shared(&mut net, cnode, server_node, send_cq, recv_cq, &spec.cfg);
-        let conn = reactor.accept(ssock);
-        assert_eq!(conn.0 as usize, idx, "accept order defines conn ids");
-        conn_ids.push(conn);
+        let conn = reactors[shard].accept(ssock);
+        conn_locs.push((shard, conn));
         let max_outstanding = spec.outstanding_sends.max(1);
         let slots = if spec.pooled {
             Vec::new()
@@ -969,36 +1108,41 @@ pub fn run_fan_in_aio(spec: &FanInSpec) -> FanInReport {
         });
     }
 
-    // The executor's pool carries every connection's readahead leases
-    // for the whole run; budget them up front so a 10k-way fan-in never
-    // churns the pin-down cache.
+    // Each shard's executor pool carries its connections' readahead
+    // leases for the whole run; budget them up front so a 10k-way
+    // fan-in never churns the pin-down cache. Pre-registering happens
+    // now, during setup, through the uncharged path — the callback
+    // server's up-front `register_mr` calls are setup-cost-free by the
+    // same rule, and the timed window must compare consumption models.
+    // Without this, conns × prepost pin-down misses (~35 µs each,
+    // serialized on the server core at time zero) masquerade as an 8×
+    // async slowdown.
     let class = (recv_len as u64).next_power_of_two().max(4096);
-    let server_pool = MemPool::new(MemPoolConfig {
-        pinned_budget: (spec.conns as u64 * prepost as u64 * class)
-            .max(spec.cfg.pool.pinned_budget),
-        ..spec.cfg.pool.clone()
-    });
-    // Pre-register the readahead working set now, during setup,
-    // through the uncharged path — the callback server's up-front
-    // `register_mr` calls are setup-cost-free by the same rule, and
-    // the timed window must compare consumption models. Without this,
-    // conns × prepost pin-down misses (~35 µs each, serialized on the
-    // server core at time zero) masquerade as an 8× async slowdown.
-    net.with_api(server_node, |api| {
-        server_pool.prewarm(
-            api,
-            spec.conns * prepost,
-            recv_len as usize,
-            Access::local_remote_write(),
-        );
-    });
-    let ex = Executor::with_pool(reactor, server_pool.clone());
-    let handle = ex.handle();
+    let mut server_pools = Vec::with_capacity(nshards);
+    let mut executors = Vec::with_capacity(nshards);
+    for (shard, reactor) in reactors.into_iter().enumerate() {
+        let pool = MemPool::new(MemPoolConfig {
+            pinned_budget: (assigned[shard] * prepost as u64 * class)
+                .max(spec.cfg.pool.pinned_budget),
+            ..spec.cfg.pool.clone()
+        });
+        net.with_api(server_node, |api| {
+            pool.prewarm(
+                api,
+                assigned[shard] as usize * prepost,
+                recv_len as usize,
+                Access::local_remote_write(),
+            );
+        });
+        executors.push(Executor::with_pool(reactor, pool.clone()));
+        server_pools.push(pool);
+    }
     let shared = Rc::new(RefCell::new(AioShared {
         digests: vec![FNV_OFFSET; spec.conns],
         received: vec![0; spec.conns],
     }));
-    for (idx, &conn) in conn_ids.iter().enumerate() {
+    for (idx, &(shard, conn)) in conn_locs.iter().enumerate() {
+        let handle = executors[shard].handle();
         let stream = handle.stream_with(conn, recv_len, prepost);
         let shared = Rc::clone(&shared);
         let verify = spec.verify;
@@ -1031,7 +1175,7 @@ pub fn run_fan_in_aio(spec: &FanInSpec) -> FanInReport {
     let setup_wall = setup_start.elapsed();
 
     let mut server = AioFanInServer {
-        drv: SimDriver::new(ex),
+        drv: SimShardDriver::new(executors),
         finished_at: None,
     };
     let mut apps: Vec<&mut dyn NodeApp> = Vec::with_capacity(1 + nclients);
@@ -1056,23 +1200,50 @@ pub fn run_fan_in_aio(spec: &FanInSpec) -> FanInReport {
     }
 
     let end = server.finished_at.unwrap_or(outcome.end);
-    let ex = server.drv.executor();
     net.with_api(server_node, |api| {
-        ex.with_reactor(|r| {
-            for conn in r.conn_ids() {
-                r.conn_mut(conn).sync_cq_stats(api);
-            }
-        });
+        for shard in 0..nshards {
+            server.drv.executor(shard).with_reactor(|r| {
+                for conn in r.conn_ids() {
+                    r.conn_mut(conn).sync_cq_stats(api);
+                }
+            });
+        }
     });
     let fabric_stats = net.fabric_stats();
-    let (mut per_conn, mut aggregate, reactor_stats) = ex.with_reactor(|r| {
-        let per_conn: Vec<ConnStats> = r
-            .conn_ids()
-            .into_iter()
-            .map(|c| r.conn(c).stats().clone())
-            .collect();
-        (per_conn, r.aggregate_conn_stats(), r.stats().clone())
-    });
+    // Per-conn snapshots in *global* index order (each conn id is only
+    // shard-local), merged protocol and event-loop counters across
+    // shards, and the per-shard telemetry rows.
+    let mut per_conn: Vec<ConnStats> = conn_locs
+        .iter()
+        .map(|&(shard, conn)| {
+            server
+                .drv
+                .executor_ref(shard)
+                .with_reactor(|r| r.conn(conn).stats().clone())
+        })
+        .collect();
+    let mut aggregate = ConnStats::default();
+    let mut reactor_stats = ReactorStats::default();
+    let mut shard_stats = Vec::with_capacity(nshards);
+    for shard in 0..nshards {
+        let (agg, rs) = server
+            .drv
+            .executor_ref(shard)
+            .with_reactor(|r| (r.aggregate_conn_stats(), r.stats().clone()));
+        aggregate.merge(&agg);
+        shard_stats.push(ShardStats {
+            shard_id: shard as u32,
+            conns: rs.conns_added - rs.conns_removed,
+            assigned: assigned[shard],
+            steals: steals[shard],
+            commands: 0,
+            polls: rs.polls,
+            cqes_dispatched: rs.cqes_dispatched,
+            busy_ns: 0,
+            wall_ns: 0,
+        });
+        reactor_stats.merge(&rs);
+    }
     if let Some(fs) = &fabric_stats {
         for (idx, stats) in per_conn.iter_mut().enumerate() {
             let cnode = client_nodes[idx % nclients];
@@ -1096,7 +1267,8 @@ pub fn run_fan_in_aio(spec: &FanInSpec) -> FanInReport {
         expected * spec.conns as u64,
         "every stream fully delivered"
     );
-    let aio_stats = ex.stats();
+    let aio_stats = server.drv.merged_stats();
+    let aio_per_shard = server.drv.per_shard_stats();
     assert_eq!(
         aio_stats.tasks_completed, spec.conns as u64,
         "every connection task ran to completion"
@@ -1121,7 +1293,10 @@ pub fn run_fan_in_aio(spec: &FanInSpec) -> FanInReport {
     );
 
     let pool = spec.pooled.then(|| {
-        let mut total = server_pool.stats();
+        let mut total = PoolStats::default();
+        for sp in &server_pools {
+            total.merge(&sp.stats());
+        }
         for c in &clients {
             if let Some(cp) = &c.pool {
                 total.merge(&cp.stats());
@@ -1150,6 +1325,8 @@ pub fn run_fan_in_aio(spec: &FanInSpec) -> FanInReport {
         mux_footprint: None,
         mux_baseline: None,
         aio: Some(aio_stats),
+        shard_stats: Some(shard_stats),
+        aio_per_shard: Some(aio_per_shard),
         events: outcome.events,
     }
 }
@@ -1600,6 +1777,8 @@ pub fn run_fan_in_mux(spec: &FanInSpec) -> FanInReport {
         mux_footprint: Some(mux_footprint),
         mux_baseline: Some(mux_baseline),
         aio: None,
+        shard_stats: None,
+        aio_per_shard: None,
         events: outcome.events,
     }
 }

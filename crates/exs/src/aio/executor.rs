@@ -30,7 +30,7 @@ use crate::error::ExsError;
 use crate::mempool::{MemPool, MemPoolConfig, MrLease};
 use crate::mux::MuxEvent;
 use crate::port::VerbsPort;
-use crate::reactor::{ConnId, MuxId, Reactor};
+use crate::reactor::{ConnId, MuxId, Reactor, Readiness};
 use crate::stats::AioStats;
 use crate::stream::ExsEvent;
 
@@ -278,6 +278,9 @@ pub(crate) struct Inner {
     free_tasks: Vec<usize>,
     outstanding: usize,
     scratch: Vec<u8>,
+    /// Reusable readiness buffer for [`Inner::pump_reactor`] — the
+    /// steady-state pump allocates nothing per poll.
+    ready_buf: Vec<(ConnId, Readiness)>,
 }
 
 impl Inner {
@@ -548,9 +551,10 @@ impl Inner {
     /// channel state changed (events consumed, bytes buffered, EOF or
     /// error observed).
     fn pump_reactor(&mut self, port: &mut impl VerbsPort) -> bool {
-        let ready = self.reactor.poll(port);
+        let mut ready = std::mem::take(&mut self.ready_buf);
+        self.reactor.poll_into(port, &mut ready);
         let mut progressed = false;
-        for (conn, r) in ready {
+        for &(conn, r) in &ready {
             if !(r.readable || r.closed || r.error) {
                 continue;
             }
@@ -604,6 +608,7 @@ impl Inner {
             }
             chan.wake_readers();
         }
+        self.ready_buf = ready;
         let mux_ids: Vec<u32> = self.muxes.keys().copied().collect();
         for mux in mux_ids {
             let events = match self.reactor.try_take_mux_events(MuxId(mux)) {
@@ -906,6 +911,7 @@ impl Executor {
                 free_tasks: Vec::new(),
                 outstanding: 0,
                 scratch: Vec::new(),
+                ready_buf: Vec::new(),
             })),
             ready: ReadyQueue::new(),
         }
@@ -1114,5 +1120,109 @@ impl rdma_verbs::NodeApp for SimDriver {
 
     fn is_done(&self) -> bool {
         self.ex.drained()
+    }
+}
+
+/// Drives one executor per reactor shard on a single simulated node:
+/// the deterministic counterpart of N shard service threads. Every
+/// wake-up and timer event runs one turn of *each* executor, in shard
+/// order — on the simulator "parallel" shards interleave on one
+/// timeline, so runs stay byte- and schedule-deterministic while
+/// exercising exactly the sharded placement the thread backend uses.
+/// The node is done only when every shard is drained
+/// ([`Executor::drained`]), the pool-wide extension of the PR-9
+/// teardown condition.
+pub struct SimShardDriver {
+    shards: Vec<Executor>,
+    armed: u64,
+}
+
+impl SimShardDriver {
+    /// Wraps one executor per shard for `SimNet::run`. Panics on an
+    /// empty shard set.
+    pub fn new(shards: Vec<Executor>) -> SimShardDriver {
+        assert!(
+            !shards.is_empty(),
+            "a shard driver needs at least one shard"
+        );
+        SimShardDriver { shards, armed: 0 }
+    }
+
+    /// Number of shards driven.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's executor.
+    pub fn executor(&mut self, shard: usize) -> &mut Executor {
+        &mut self.shards[shard]
+    }
+
+    /// Shared view of one shard's executor.
+    pub fn executor_ref(&self, shard: usize) -> &Executor {
+        &self.shards[shard]
+    }
+
+    /// A task/stream handle onto one shard's executor.
+    pub fn handle(&self, shard: usize) -> AioHandle {
+        self.shards[shard].handle()
+    }
+
+    /// Executor counters merged across shards.
+    pub fn merged_stats(&self) -> AioStats {
+        let mut total = AioStats::default();
+        for ex in &self.shards {
+            total.merge(&ex.stats());
+        }
+        total
+    }
+
+    /// Per-shard executor counters, in shard order.
+    pub fn per_shard_stats(&self) -> Vec<AioStats> {
+        self.shards.iter().map(|ex| ex.stats()).collect()
+    }
+
+    fn pump(&mut self, api: &mut rdma_verbs::NodeApi<'_>) {
+        let now = api.now().as_nanos();
+        // One turn per shard, in shard order. Each turn already loops
+        // to quiescence (including its reactor's deferred backlog), and
+        // cross-shard traffic on the simulator arrives as later wake
+        // events, so a single pass is a complete pump.
+        let mut next: Option<u64> = None;
+        for ex in &mut self.shards {
+            let deadline = ex.turn(api, now);
+            next = match (next, deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        if let Some(deadline) = next {
+            if self.armed <= now || deadline < self.armed {
+                api.set_timer(
+                    simnet::SimDuration::from_nanos(deadline.saturating_sub(now).max(1)),
+                    0,
+                );
+                self.armed = deadline.max(now + 1);
+            }
+        }
+    }
+}
+
+impl rdma_verbs::NodeApp for SimShardDriver {
+    fn on_start(&mut self, api: &mut rdma_verbs::NodeApi<'_>) {
+        self.pump(api);
+    }
+
+    fn on_wake(&mut self, api: &mut rdma_verbs::NodeApi<'_>) {
+        self.pump(api);
+    }
+
+    fn on_timer(&mut self, api: &mut rdma_verbs::NodeApi<'_>, _token: u64) {
+        self.armed = 0;
+        self.pump(api);
+    }
+
+    fn is_done(&self) -> bool {
+        self.shards.iter().all(|ex| ex.drained())
     }
 }

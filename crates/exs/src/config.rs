@@ -189,6 +189,87 @@ impl MuxConfig {
     }
 }
 
+/// How accepted connections (and mux endpoints) are assigned to the
+/// shards of a sharded reactor ([`crate::shard::ReactorPool`],
+/// [`crate::threaded::ThreadReactorPool`]).
+///
+/// Assignment happens exactly once, at accept time; per-connection
+/// state then stays shard-local for the connection's whole life, so
+/// the data path never takes a cross-shard lock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Strict rotation over the shards — even spread for uniform
+    /// workloads and the only policy whose placement is independent of
+    /// load timing (so cross-backend runs place identically).
+    #[default]
+    RoundRobin,
+    /// The shard currently hosting the fewest connections; ties break
+    /// toward the round-robin successor. Adapts to uneven connection
+    /// lifetimes at the cost of timing-dependent placement.
+    LeastLoaded,
+    /// FNV-1a hash of a caller-supplied affinity key (peer node id,
+    /// tenant id, …) modulo the shard count — connections sharing a
+    /// key land on the same shard and so share its cache warmth.
+    Affinity,
+}
+
+impl ShardPolicy {
+    /// Short label used in reports and snapshots.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardPolicy::RoundRobin => "round-robin",
+            ShardPolicy::LeastLoaded => "least-loaded",
+            ShardPolicy::Affinity => "affinity",
+        }
+    }
+
+    /// The shard an affinity key maps to (used by
+    /// [`ShardPolicy::Affinity`]; exposed so tests and peers can
+    /// predict placement).
+    pub fn affinity_shard(key: u64, shards: usize) -> usize {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in key.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        (h % shards.max(1) as u64) as usize
+    }
+}
+
+/// Sharded-reactor tunables (`ExsConfig::shard`): how many independent
+/// reactor shards a pool spreads its connections over, and by what
+/// policy. Each shard owns its own CQ pair and (on the thread backend)
+/// its own service thread, so aggregate throughput scales with cores
+/// instead of saturating one service thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of reactor shards. `0` or `1` ⇒ a single shard (the
+    /// pre-sharding behaviour). Bounded by [`ShardConfig::MAX_SHARDS`].
+    pub shards: usize,
+    /// Connection-to-shard assignment policy.
+    pub policy: ShardPolicy,
+}
+
+impl ShardConfig {
+    /// Upper bound on the shard count — far above any sane core count,
+    /// low enough to catch a garbage config before it allocates CQs.
+    pub const MAX_SHARDS: usize = 256;
+
+    /// Effective shard count (`0` ⇒ 1).
+    pub fn effective_shards(&self) -> usize {
+        self.shards.max(1)
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 1,
+            policy: ShardPolicy::RoundRobin,
+        }
+    }
+}
+
 /// Tunables for one EXS connection.
 #[derive(Clone, Debug)]
 pub struct ExsConfig {
@@ -241,6 +322,9 @@ pub struct ExsConfig {
     /// Shared-transport multiplexing tunables (see [`MuxConfig`];
     /// disabled by default — every stream gets a private QP).
     pub mux: MuxConfig,
+    /// Sharded-reactor tunables (see [`ShardConfig`]; a single shard by
+    /// default — the pre-sharding behaviour).
+    pub shard: ShardConfig,
 }
 
 impl Default for ExsConfig {
@@ -260,6 +344,7 @@ impl Default for ExsConfig {
             pool: MemPoolConfig::default(),
             direct: DirectPolicy::default(),
             mux: MuxConfig::default(),
+            shard: ShardConfig::default(),
         }
     }
 }
@@ -283,6 +368,8 @@ pub enum ConfigError {
     /// the stream id, which the WritePlusSend emulation cannot also
     /// squeeze a length into.
     MuxNeedsNativeWwi,
+    /// The shard count must stay within 0..=[`ShardConfig::MAX_SHARDS`].
+    BadShardCount,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -298,6 +385,9 @@ impl std::fmt::Display for ConfigError {
                     f,
                     "mux requires WwiMode::Native (imm carries the stream id)"
                 )
+            }
+            ConfigError::BadShardCount => {
+                write!(f, "shard count above {}", ShardConfig::MAX_SHARDS)
             }
         }
     }
@@ -327,6 +417,9 @@ impl ExsConfig {
             if self.wwi_mode == WwiMode::WritePlusSend {
                 return Err(ConfigError::MuxNeedsNativeWwi);
             }
+        }
+        if self.shard.shards > ShardConfig::MAX_SHARDS {
+            return Err(ConfigError::BadShardCount);
         }
         Ok(())
     }
@@ -544,6 +637,50 @@ mod tests {
             ..MuxConfig::default()
         };
         assert_eq!(m.effective_stream_window(1 << 16), 1 << 16);
+    }
+
+    #[test]
+    fn shard_config_validation_and_affinity() {
+        let c = ExsConfig::default();
+        assert_eq!(c.shard.effective_shards(), 1, "sharding must default off");
+        assert_eq!(c.shard.policy, ShardPolicy::RoundRobin);
+
+        let zero = ShardConfig {
+            shards: 0,
+            ..ShardConfig::default()
+        };
+        assert_eq!(zero.effective_shards(), 1);
+
+        let bad = ExsConfig {
+            shard: ShardConfig {
+                shards: ShardConfig::MAX_SHARDS + 1,
+                ..ShardConfig::default()
+            },
+            ..ExsConfig::default()
+        };
+        assert_eq!(bad.validate(), Err(ConfigError::BadShardCount));
+        let good = ExsConfig {
+            shard: ShardConfig {
+                shards: ShardConfig::MAX_SHARDS,
+                ..ShardConfig::default()
+            },
+            ..ExsConfig::default()
+        };
+        assert!(good.validate().is_ok());
+
+        // Affinity placement is a pure function of the key and stays in
+        // range for every shard count.
+        for shards in 1..=16usize {
+            for key in 0..256u64 {
+                let s = ShardPolicy::affinity_shard(key, shards);
+                assert!(s < shards);
+                assert_eq!(s, ShardPolicy::affinity_shard(key, shards));
+            }
+        }
+
+        assert_eq!(ShardPolicy::RoundRobin.label(), "round-robin");
+        assert_eq!(ShardPolicy::LeastLoaded.label(), "least-loaded");
+        assert_eq!(ShardPolicy::Affinity.label(), "affinity");
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! | [`api`] | ES-API-flavoured convenience layer |
 //! | [`mempool`] | pin-down cache / slab MR pools / buffer leases |
 //! | [`reactor`] | epoll-style readiness multiplexing of many streams |
+//! | [`shard`] | sharded reactor pool — scale service across cores |
 //! | [`aio`] | async/await futures + deterministic executor over the reactor |
 //! | [`error`] | typed peer-attributable failures |
 //! | [`stats`] | Table III counters + event-loop aggregates |
@@ -58,15 +59,17 @@ pub mod receiver;
 pub mod sender;
 pub mod seq;
 pub mod seqpacket;
+pub mod shard;
 pub mod stats;
 pub mod stream;
 pub mod threaded;
 mod txpipe;
 
-pub use aio::{AioHandle, AioMux, AsyncStream, Executor, SimDriver};
+pub use aio::{AioHandle, AioMux, AsyncStream, Executor, SimDriver, SimShardDriver};
 pub use api::{Event, ExsContext, ExsFd, MsgFlags, QueuedEvent, SockType};
 pub use config::{
-    ConfigError, DirectPolicy, ExsConfig, MuxAssignment, MuxConfig, ProtocolMode, WwiMode,
+    ConfigError, DirectPolicy, ExsConfig, MuxAssignment, MuxConfig, ProtocolMode, ShardConfig,
+    ShardPolicy, WwiMode,
 };
 pub use error::{ExsError, ProtocolError};
 pub use mempool::{MemPool, MemPoolConfig, MrLease};
@@ -77,6 +80,7 @@ pub use port::{CqPressure, VerbsPort};
 pub use reactor::{ConnId, MuxId, Reactor, ReactorConfig, Readiness};
 pub use seq::Seq;
 pub use seqpacket::{SeqPacketEvent, SeqPacketSocket};
-pub use stats::{AioStats, ConnStats, PoolStats, ReactorStats};
+pub use shard::{ReactorPool, ShardBalance, ShardHandle, ShardMuxHandle};
+pub use stats::{AioStats, ConnStats, PoolStats, ReactorStats, ShardStats};
 pub use stream::{ExsEvent, StreamSocket};
-pub use threaded::{ThreadPort, ThreadReactor, ThreadStream};
+pub use threaded::{ThreadPort, ThreadReactor, ThreadReactorPool, ThreadStream};

@@ -477,6 +477,18 @@ impl Reactor {
     /// until the condition is gone (events taken, stream closed
     /// handled, ...).
     pub fn poll(&mut self, api: &mut impl VerbsPort) -> Vec<(ConnId, Readiness)> {
+        let mut ready = Vec::new();
+        self.poll_into(api, &mut ready);
+        ready
+    }
+
+    /// [`Reactor::poll`], writing the readiness set into a
+    /// caller-owned buffer instead of allocating one. `out` is cleared
+    /// first. Hot loops (shard service threads, the aio pump, fan-in
+    /// servers) keep one buffer per reactor and reuse it across polls
+    /// so the steady-state dispatch path performs no allocation.
+    pub fn poll_into(&mut self, api: &mut impl VerbsPort, out: &mut Vec<(ConnId, Readiness)>) {
+        out.clear();
         self.stats.polls += 1;
         let recv_full = self.drain_cq(api, CqSide::Recv);
         let send_full = self.drain_cq(api, CqSide::Send);
@@ -500,7 +512,6 @@ impl Reactor {
         }
 
         // Readiness scan.
-        let mut ready = Vec::new();
         for (idx, slot) in self.conns.iter().enumerate() {
             let Some(conn) = slot else { continue };
             let readiness = Readiness {
@@ -511,11 +522,10 @@ impl Reactor {
             }
             .mask(conn.interest);
             if readiness.any() {
-                ready.push((ConnId(idx as u32), readiness));
+                out.push((ConnId(idx as u32), readiness));
             }
         }
-        self.stats.readiness_reports += ready.len() as u64;
-        ready
+        self.stats.readiness_reports += out.len() as u64;
     }
 
     /// Returns true if the drain stopped at the per-poll bound (the CQ

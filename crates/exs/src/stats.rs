@@ -358,6 +358,23 @@ impl ReactorStats {
         }
     }
 
+    /// Adds another reactor's counters into this one (per-shard
+    /// reactors aggregated for a pool-wide view). Counters sum;
+    /// `max_cq_batch` — a peak, not a count — takes the max, the same
+    /// sum-vs-max discipline `ConnStats::merge` settled on after the
+    /// fabric-stats under-count.
+    pub fn merge(&mut self, other: &ReactorStats) {
+        self.conns_added += other.conns_added;
+        self.conns_removed += other.conns_removed;
+        self.polls += other.polls;
+        self.cq_batches += other.cq_batches;
+        self.cqes_dispatched += other.cqes_dispatched;
+        self.max_cq_batch = self.max_cq_batch.max(other.max_cq_batch);
+        self.deferrals += other.deferrals;
+        self.orphan_cqes += other.orphan_cqes;
+        self.readiness_reports += other.readiness_reports;
+    }
+
     /// Serializes the counters as a JSON object (dependency-free, like
     /// [`ConnStats::to_json`]).
     pub fn to_json(&self) -> String {
@@ -378,6 +395,76 @@ impl ReactorStats {
             self.orphan_cqes,
             self.readiness_reports,
             self.mean_batch(),
+        )
+    }
+}
+
+/// Telemetry for one shard of a sharded reactor
+/// ([`crate::shard::ReactorPool`] /
+/// [`crate::threaded::ThreadReactorPool`]): how many connections the
+/// assignment policy routed here, how hard its service loop is working
+/// (busy ratio), and how often peers reached across the shard boundary
+/// (handoff commands). One of these per shard rides in every snapshot
+/// so imbalance is visible, not averaged away.
+#[derive(Clone, Debug, Default)]
+pub struct ShardStats {
+    /// Which shard this is (0-based, stable for the pool's lifetime).
+    pub shard_id: u32,
+    /// Connections currently hosted on the shard.
+    pub conns: u64,
+    /// Connections the assignment policy ever routed here.
+    pub assigned: u64,
+    /// Assignments where `LeastLoaded` deviated from the round-robin
+    /// successor — a measure of how often load-awareness actually
+    /// changed placement.
+    pub steals: u64,
+    /// Cross-shard commands (close/wake handoffs) drained from the
+    /// shard's MPSC queue.
+    pub commands: u64,
+    /// `Reactor::poll` calls executed by this shard.
+    pub polls: u64,
+    /// Completions this shard's reactor dispatched.
+    pub cqes_dispatched: u64,
+    /// Nanoseconds the service loop spent doing work (holding the
+    /// reactor, harvesting events) — the numerator of the busy ratio.
+    pub busy_ns: u64,
+    /// Nanoseconds the service loop existed (work + parked waiting) —
+    /// the denominator of the busy ratio. Zero on the sim backend,
+    /// where there is no wall clock to sample.
+    pub wall_ns: u64,
+}
+
+impl ShardStats {
+    /// Fraction of the shard's lifetime spent servicing rather than
+    /// parked (0 when no wall time was sampled — e.g. the sim backend).
+    pub fn busy_ratio(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            (self.busy_ns as f64 / self.wall_ns as f64).min(1.0)
+        }
+    }
+
+    /// Serializes the counters as a JSON object (dependency-free, like
+    /// [`ConnStats::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"shard_id\":{},\"conns\":{},\"assigned\":{},",
+                "\"steals\":{},\"commands\":{},\"polls\":{},",
+                "\"cqes_dispatched\":{},\"busy_ns\":{},\"wall_ns\":{},",
+                "\"busy_ratio\":{:.6}}}"
+            ),
+            self.shard_id,
+            self.conns,
+            self.assigned,
+            self.steals,
+            self.commands,
+            self.polls,
+            self.cqes_dispatched,
+            self.busy_ns,
+            self.wall_ns,
+            self.busy_ratio(),
         )
     }
 }
@@ -757,6 +844,73 @@ mod tests {
         s.indirect_bytes = 30;
         assert!((s.direct_byte_ratio() - 0.25).abs() < 1e-12);
         assert_eq!(s.total_transfers(), 4);
+    }
+
+    #[test]
+    fn reactor_stats_merge_sums_counters_and_maxes_peak() {
+        let mut a = ReactorStats {
+            conns_added: 4,
+            polls: 100,
+            cq_batches: 10,
+            cqes_dispatched: 50,
+            max_cq_batch: 12,
+            deferrals: 1,
+            readiness_reports: 40,
+            ..ReactorStats::default()
+        };
+        let b = ReactorStats {
+            conns_added: 2,
+            conns_removed: 1,
+            polls: 30,
+            cq_batches: 5,
+            cqes_dispatched: 25,
+            max_cq_batch: 20,
+            orphan_cqes: 0,
+            readiness_reports: 10,
+            ..ReactorStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.conns_added, 6, "counters sum across shards");
+        assert_eq!(a.conns_removed, 1);
+        assert_eq!(a.polls, 130);
+        assert_eq!(a.cq_batches, 15);
+        assert_eq!(a.cqes_dispatched, 75);
+        assert_eq!(a.max_cq_batch, 20, "the peak takes the max, not the sum");
+        assert_eq!(a.deferrals, 1);
+        assert_eq!(a.readiness_reports, 50);
+        assert!((a.mean_batch() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_stats_busy_ratio_and_json() {
+        let s = ShardStats {
+            shard_id: 3,
+            conns: 7,
+            assigned: 9,
+            steals: 2,
+            commands: 4,
+            polls: 100,
+            cqes_dispatched: 250,
+            busy_ns: 250,
+            wall_ns: 1000,
+        };
+        assert!((s.busy_ratio() - 0.25).abs() < 1e-12);
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"shard_id\":3"));
+        assert!(j.contains("\"assigned\":9"));
+        assert!(j.contains("\"steals\":2"));
+        assert!(j.contains("\"busy_ratio\":0.250000"));
+
+        // Sim shards sample no wall clock; the ratio stays defined.
+        assert_eq!(ShardStats::default().busy_ratio(), 0.0);
+        // Timer jitter can push busy past wall; the ratio stays <= 1.
+        let hot = ShardStats {
+            busy_ns: 1200,
+            wall_ns: 1000,
+            ..ShardStats::default()
+        };
+        assert_eq!(hot.busy_ratio(), 1.0);
     }
 
     #[test]

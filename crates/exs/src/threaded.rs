@@ -17,7 +17,7 @@
 //! unspecified, exactly like concurrent `write(2)` on a pipe.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -29,8 +29,9 @@ use crate::config::ExsConfig;
 use crate::mempool::{MemPool, MrLease};
 use crate::mux::MuxEndpoint;
 use crate::port::VerbsPort;
-use crate::reactor::{ConnId, Reactor, ReactorConfig};
-use crate::stats::{ConnStats, PoolStats};
+use crate::reactor::{ConnId, Reactor, ReactorConfig, Readiness};
+use crate::shard::{choose_shard, ShardHandle};
+use crate::stats::{ConnStats, PoolStats, ReactorStats, ShardStats};
 use crate::stream::{ExsEvent, PreparedSocket, StreamSocket, CTRL_SLOT};
 
 /// [`VerbsPort`] implementation over a [`ThreadNet`] node.
@@ -564,6 +565,226 @@ struct ReactorShared {
     stop: AtomicBool,
 }
 
+/// A cross-shard request for a shard's service thread, delivered
+/// through its lock-free [`CommandQueue`] — the only way (besides the
+/// accept handoff) anything outside a shard touches its state.
+#[derive(Clone, Copy, Debug)]
+enum ShardCommand {
+    /// Detach a connection from the shard's reactor; the socket is
+    /// handed back through the retire mailbox for the caller to close.
+    Close(ConnId),
+}
+
+/// Lock-free MPSC command queue: a Treiber stack that any thread
+/// pushes onto and the owning shard's service thread drains (swap the
+/// head, then reverse for FIFO order). Commands are rare (closes,
+/// teardown nudges) — the point is not queue throughput but that the
+/// data path never takes a cross-shard lock, so a command push can
+/// never block a peer shard's poll loop.
+struct CommandQueue {
+    head: AtomicPtr<CmdNode>,
+}
+
+struct CmdNode {
+    cmd: ShardCommand,
+    next: *mut CmdNode,
+}
+
+unsafe impl Send for CommandQueue {}
+unsafe impl Sync for CommandQueue {}
+
+impl CommandQueue {
+    fn new() -> CommandQueue {
+        CommandQueue {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    fn push(&self, cmd: ShardCommand) {
+        let node = Box::into_raw(Box::new(CmdNode {
+            cmd,
+            next: std::ptr::null_mut(),
+        }));
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            unsafe { (*node).next = head };
+            if self
+                .head
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Acquire)
+                .is_ok()
+            {
+                break;
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire).is_null()
+    }
+
+    /// Detaches the whole stack and appends the commands to `out` in
+    /// FIFO (push) order.
+    fn drain_into(&self, out: &mut Vec<ShardCommand>) {
+        let mut head = self.head.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        let start = out.len();
+        while !head.is_null() {
+            let node = unsafe { Box::from_raw(head) };
+            head = node.next;
+            out.push(node.cmd);
+        }
+        out[start..].reverse();
+    }
+}
+
+impl Drop for CommandQueue {
+    fn drop(&mut self) {
+        let mut sink = Vec::new();
+        self.drain_into(&mut sink);
+    }
+}
+
+/// Per-shard control block shared between a pool and one shard's
+/// service thread: the command queue, the retire mailbox for closed
+/// sockets, and the shard's busy/wall telemetry.
+struct ShardCtl {
+    commands: CommandQueue,
+    /// Sockets detached by a `Close` command, waiting for the caller
+    /// to finalize (quiesce + deregister). Keyed by `ConnId.0`.
+    retired: Mutex<Vec<(u32, StreamSocket)>>,
+    commands_drained: AtomicU64,
+    busy_ns: AtomicU64,
+    wall_ns: AtomicU64,
+}
+
+impl ShardCtl {
+    fn new() -> ShardCtl {
+        ShardCtl {
+            commands: CommandQueue::new(),
+            retired: Mutex::new(Vec::new()),
+            commands_drained: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            wall_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The reactor service loop shared by [`ThreadReactor`] (one shard, no
+/// control block) and [`ThreadReactorPool`] (one of these threads per
+/// shard). Parks on the node's completion signal, drains cross-shard
+/// commands, performs one bounded poll, and publishes harvested events
+/// — reusing its readiness/harvest buffers so the steady state
+/// allocates nothing per wake.
+fn spawn_reactor_service(
+    net: Arc<ThreadNet>,
+    node: Arc<ThreadNode>,
+    shared: Arc<ReactorShared>,
+    ctl: Option<Arc<ShardCtl>>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let epoch = std::time::Instant::now();
+        let mut seen = node.generation();
+        let mut backlog = false;
+        let mut ready: Vec<(ConnId, Readiness)> = Vec::new();
+        let mut harvested: Vec<(u32, Vec<ExsEvent>)> = Vec::new();
+        let mut commands: Vec<ShardCommand> = Vec::new();
+        while !shared.stop.load(Ordering::Acquire) {
+            if !backlog {
+                // Park on the completion signal only when the last
+                // poll fully drained: bounded polls are edge-free, so
+                // leftover work must be serviced without waiting for a
+                // new completion.
+                seen = node.wait_any(seen, Duration::from_millis(50));
+            }
+            let work_start = std::time::Instant::now();
+            if let Some(ctl) = &ctl {
+                ctl.commands.drain_into(&mut commands);
+                if !commands.is_empty() {
+                    ctl.commands_drained
+                        .fetch_add(commands.len() as u64, Ordering::Relaxed);
+                    let mut reactor = shared.reactor.lock();
+                    for cmd in commands.drain(..) {
+                        match cmd {
+                            ShardCommand::Close(conn) => {
+                                let sock = reactor.remove(conn);
+                                shared.events.lock().remove(&conn.0);
+                                ctl.retired.lock().push((conn.0, sock));
+                            }
+                        }
+                    }
+                    drop(reactor);
+                    shared.cv.notify_all();
+                }
+            }
+            {
+                let mut reactor = shared.reactor.lock();
+                let mut port = ThreadPort::new(&net, &node);
+                reactor.poll_into(&mut port, &mut ready);
+                backlog = reactor.has_backlog();
+                for &(conn, readiness) in &ready {
+                    if readiness.readable || readiness.closed || readiness.error {
+                        let events = reactor.take_events(conn);
+                        let closed = reactor.conn(conn).peer_closed();
+                        let broken = reactor.conn(conn).is_broken();
+                        harvested.push((conn.0, events));
+                        // Closed/error are level-triggered states with
+                        // no event after the first take; mirror them
+                        // into the buffer directly.
+                        if closed || broken {
+                            let last = harvested.last_mut().expect("just pushed");
+                            if closed {
+                                last.1.push(ExsEvent::PeerClosed);
+                            }
+                            if broken {
+                                last.1.push(ExsEvent::ConnectionError);
+                            }
+                        }
+                    }
+                }
+            }
+            if !harvested.is_empty() {
+                let mut bufs = shared.events.lock();
+                for (conn, events) in harvested.drain(..) {
+                    bufs.entry(conn).or_default().absorb(events);
+                }
+                drop(bufs);
+                shared.cv.notify_all();
+            }
+            if let Some(ctl) = &ctl {
+                ctl.busy_ns
+                    .fetch_add(work_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                ctl.wall_ns
+                    .store(epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+        }
+    })
+}
+
+/// Actively polls a reactor until nothing it hosts still owes traffic
+/// to the wire ([`Reactor::has_unsent`]) or the bounded deadline
+/// passes — the thread-backend extension of the aio `drained()`
+/// teardown condition. Called before stopping a service thread: a
+/// loop that stops at "no events pending" can strand a FIN queued
+/// behind flow control, leaving the peer waiting for an end-of-stream
+/// that never comes.
+fn drain_reactor_unsent(net: &Arc<ThreadNet>, node: &Arc<ThreadNode>, shared: &ReactorShared) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut scratch: Vec<(ConnId, Readiness)> = Vec::new();
+    loop {
+        {
+            let mut reactor = shared.reactor.lock();
+            if !reactor.has_unsent() {
+                break;
+            }
+            let mut port = ThreadPort::new(net, node);
+            reactor.poll_into(&mut port, &mut scratch);
+        }
+        if std::time::Instant::now() >= deadline {
+            break;
+        }
+        std::thread::yield_now();
+    }
+}
+
 /// A [`Reactor`] hosted on one node of the real-thread fabric.
 ///
 /// Where each [`ThreadStream`] endpoint burns a service thread, a
@@ -607,59 +828,7 @@ impl ThreadReactor {
             cv: Condvar::new(),
             stop: AtomicBool::new(false),
         });
-        let service = {
-            let shared = shared.clone();
-            let net = net.clone();
-            let node = node.clone();
-            std::thread::spawn(move || {
-                let mut seen = node.generation();
-                let mut backlog = false;
-                while !shared.stop.load(Ordering::Acquire) {
-                    if !backlog {
-                        // Park on the completion signal only when the
-                        // last poll fully drained: bounded polls are
-                        // edge-free, so leftover work must be serviced
-                        // without waiting for a new completion.
-                        seen = node.wait_any(seen, Duration::from_millis(50));
-                    }
-                    let mut harvested: Vec<(u32, Vec<ExsEvent>)> = Vec::new();
-                    {
-                        let mut reactor = shared.reactor.lock();
-                        let mut port = ThreadPort::new(&net, &node);
-                        let ready = reactor.poll(&mut port);
-                        backlog = reactor.has_backlog();
-                        for (conn, readiness) in ready {
-                            if readiness.readable || readiness.closed || readiness.error {
-                                let events = reactor.take_events(conn);
-                                let closed = reactor.conn(conn).peer_closed();
-                                let broken = reactor.conn(conn).is_broken();
-                                harvested.push((conn.0, events));
-                                // Closed/error are level-triggered states
-                                // with no event after the first take;
-                                // mirror them into the buffer directly.
-                                if closed || broken {
-                                    let last = harvested.last_mut().expect("just pushed");
-                                    if closed {
-                                        last.1.push(ExsEvent::PeerClosed);
-                                    }
-                                    if broken {
-                                        last.1.push(ExsEvent::ConnectionError);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    if !harvested.is_empty() {
-                        let mut bufs = shared.events.lock();
-                        for (conn, events) in harvested {
-                            bufs.entry(conn).or_default().absorb(events);
-                        }
-                        drop(bufs);
-                        shared.cv.notify_all();
-                    }
-                }
-            })
-        };
+        let service = spawn_reactor_service(net.clone(), node.clone(), shared.clone(), None);
         ThreadReactor {
             net,
             node,
@@ -845,10 +1014,439 @@ impl ThreadReactor {
 
 impl Drop for ThreadReactor {
     fn drop(&mut self) {
+        // Flush hosted streams' unsent traffic before signalling stop:
+        // a FIN queued behind flow control at teardown must still reach
+        // the wire or the peer hangs waiting for end-of-stream.
+        drain_reactor_unsent(&self.net, &self.node, &self.shared);
         self.shared.stop.store(true, Ordering::Release);
         self.shared.cv.notify_all();
+        self.node.notify();
         if let Some(h) = self.service.take() {
             let _ = h.join();
+        }
+    }
+}
+
+/// One shard of a [`ThreadReactorPool`]: its CQ pair, reactor state,
+/// control block, and dedicated service thread.
+struct ShardRuntime {
+    send_cq: CqId,
+    recv_cq: CqId,
+    shared: Arc<ReactorShared>,
+    ctl: Arc<ShardCtl>,
+    service: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Placement bookkeeping shared by all accept callers; touched only on
+/// the accept path, never while moving bytes.
+struct Placement {
+    rr_next: usize,
+    assigned: Vec<u64>,
+    steals: Vec<u64>,
+}
+
+/// A pool of [`ThreadReactor`]-style shards on one node: each shard
+/// owns its own CQ pair, reactor, and service thread, so CQE dispatch
+/// and readiness harvesting scale across cores instead of serialising
+/// on a single reactor lock.
+///
+/// Sharding invariants (mirrors [`crate::shard::ReactorPool`]):
+///
+/// * A connection is assigned to a shard **once**, at accept, by the
+///   configured [`crate::config::ShardPolicy`]; it never migrates.
+/// * The data path (post/wait/poll) touches only that shard's state —
+///   no cross-shard locks.
+/// * Cross-shard interaction is limited to the accept handoff and each
+///   shard's lock-free [`CommandQueue`] (close requests, teardown
+///   nudges).
+/// * Statistics aggregate by **summing** counters across shards
+///   (peaks take a max); per-shard telemetry is preserved in
+///   [`ThreadReactorPool::shard_stats`].
+pub struct ThreadReactorPool {
+    net: Arc<ThreadNet>,
+    node: Arc<ThreadNode>,
+    shards: Vec<ShardRuntime>,
+    policy: crate::config::ShardPolicy,
+    placement: Mutex<Placement>,
+    pool: MemPool,
+    client_pools: Mutex<HashMap<u32, MemPool>>,
+    next_id: AtomicU64,
+}
+
+impl ThreadReactorPool {
+    /// Creates `exs_cfg.shard.effective_shards()` shards on `node`,
+    /// each with CQs sized for `max_conns` connections (full size per
+    /// shard: policies may skew placement, and CQ overflow is fatal).
+    pub fn new(
+        net: Arc<ThreadNet>,
+        node: Arc<ThreadNode>,
+        cfg: ReactorConfig,
+        exs_cfg: &ExsConfig,
+        max_conns: usize,
+    ) -> ThreadReactorPool {
+        let nshards = exs_cfg.shard.effective_shards();
+        let per_conn = exs_cfg.sq_depth * 2 + exs_cfg.credits as usize * 2;
+        let cq_depth = per_conn * max_conns.max(1);
+        let mut shards = Vec::with_capacity(nshards);
+        for _ in 0..nshards {
+            let (send_cq, recv_cq) =
+                node.with_hca(|h| (h.create_cq(cq_depth), h.create_cq(cq_depth)));
+            let shared = Arc::new(ReactorShared {
+                reactor: Mutex::new(Reactor::new(send_cq, recv_cq, cfg)),
+                events: Mutex::new(HashMap::new()),
+                cv: Condvar::new(),
+                stop: AtomicBool::new(false),
+            });
+            let ctl = Arc::new(ShardCtl::new());
+            let service =
+                spawn_reactor_service(net.clone(), node.clone(), shared.clone(), Some(ctl.clone()));
+            shards.push(ShardRuntime {
+                send_cq,
+                recv_cq,
+                shared,
+                ctl,
+                service: Some(service),
+            });
+        }
+        ThreadReactorPool {
+            net,
+            node,
+            shards,
+            policy: exs_cfg.shard.policy,
+            placement: Mutex::new(Placement {
+                rr_next: 0,
+                assigned: vec![0; nshards],
+                steals: vec![0; nshards],
+            }),
+            pool: MemPool::new(exs_cfg.pool.clone()),
+            client_pools: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The pool's node.
+    pub fn node(&self) -> &Arc<ThreadNode> {
+        &self.node
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn live_conns(&self, shard: usize) -> u64 {
+        let st = self.shards[shard].shared.reactor.lock().stats().clone();
+        st.conns_added - st.conns_removed
+    }
+
+    fn pick_shard(&self, affinity: Option<u64>) -> u32 {
+        let mut placement = self.placement.lock();
+        let rr = placement.rr_next;
+        let (shard, stolen) = choose_shard(self.policy, rr, self.shards.len(), affinity, |s| {
+            self.live_conns(s)
+        });
+        placement.rr_next = (rr + 1) % self.shards.len();
+        placement.assigned[shard] += 1;
+        if stolen {
+            placement.steals[shard] += 1;
+        }
+        shard as u32
+    }
+
+    /// Accepts a new connection from `peer`, placing it by the pool's
+    /// policy; returns the shard-qualified handle plus the blocking
+    /// client endpoint.
+    pub fn accept(&self, peer: &Arc<ThreadNode>, cfg: &ExsConfig) -> (ShardHandle, ThreadStream) {
+        self.accept_with_affinity(peer, cfg, None)
+    }
+
+    /// [`ThreadReactorPool::accept`] with an explicit affinity key —
+    /// connections sharing a key land on the same shard under
+    /// [`crate::config::ShardPolicy::Affinity`].
+    pub fn accept_with_affinity(
+        &self,
+        peer: &Arc<ThreadNode>,
+        cfg: &ExsConfig,
+        affinity: Option<u64>,
+    ) -> (ShardHandle, ThreadStream) {
+        let shard = self.pick_shard(affinity);
+        let rt = &self.shards[shard as usize];
+        let (client_sock, server_sock) =
+            connect_sockets_over(peer, &self.node, cfg, Some((rt.send_cq, rt.recv_cq)));
+        let conn = rt.shared.reactor.lock().accept(server_sock);
+        let pool = self
+            .client_pools
+            .lock()
+            .entry(peer.id().0)
+            .or_insert_with(|| MemPool::new(cfg.pool.clone()))
+            .clone();
+        let client = ThreadStream::start(self.net.clone(), peer.clone(), client_sock, pool);
+        (ShardHandle { shard, conn }, client)
+    }
+
+    /// Leases a registered buffer from the pool node's pin-down cache.
+    pub fn acquire(&self, len: usize, access: Access) -> MrLease {
+        let mut port = ThreadPort::new(&self.net, &self.node);
+        self.pool.acquire(&mut port, len, access)
+    }
+
+    /// Registers I/O memory on the pool's node.
+    pub fn register(&self, len: usize, access: Access) -> MrInfo {
+        self.node.with_hca(|h| h.register_mr(len, access))
+    }
+
+    /// Closes an accepted connection. The close request travels through
+    /// the owning shard's command queue — the service thread detaches
+    /// the socket and hands it back for finalization here, so no
+    /// cross-shard reactor lock is taken on a running service path.
+    pub fn close_conn(&self, handle: ShardHandle) {
+        let rt = &self.shards[handle.shard as usize];
+        rt.ctl.commands.push(ShardCommand::Close(handle.conn));
+        self.node.notify();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut sock = loop {
+            if let Some(pos) = {
+                let retired = rt.ctl.retired.lock();
+                retired.iter().position(|(id, _)| *id == handle.conn.0)
+            } {
+                break rt.ctl.retired.lock().swap_remove(pos).1;
+            }
+            if rt.shared.stop.load(Ordering::Acquire) || std::time::Instant::now() >= deadline {
+                // Service thread already stopped (or wedged): detach
+                // directly — nothing else is polling this reactor.
+                let mut reactor = rt.shared.reactor.lock();
+                rt.shared.events.lock().remove(&handle.conn.0);
+                break reactor.remove(handle.conn);
+            }
+            std::thread::yield_now();
+        };
+        self.net.quiesce();
+        let mut port = ThreadPort::new(&self.net, &self.node);
+        sock.close(&mut port);
+    }
+
+    /// Posts an asynchronous receive on an accepted connection.
+    pub fn post_recv(
+        &self,
+        handle: ShardHandle,
+        mr: &MrInfo,
+        offset: u64,
+        len: u32,
+        waitall: bool,
+    ) -> u64 {
+        let rt = &self.shards[handle.shard as usize];
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let events = {
+            let mut reactor = rt.shared.reactor.lock();
+            let mut port = ThreadPort::new(&self.net, &self.node);
+            let sock = reactor.conn_mut(handle.conn);
+            sock.exs_recv(&mut port, mr, offset, len, waitall, id);
+            sock.take_events()
+        };
+        self.publish(rt, handle.conn, events);
+        id
+    }
+
+    /// Posts an asynchronous send on an accepted connection.
+    pub fn post_send(&self, handle: ShardHandle, mr: &MrInfo, offset: u64, len: u64) -> u64 {
+        let rt = &self.shards[handle.shard as usize];
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let events = {
+            let mut reactor = rt.shared.reactor.lock();
+            let mut port = ThreadPort::new(&self.net, &self.node);
+            let sock = reactor.conn_mut(handle.conn);
+            sock.exs_send(&mut port, mr, offset, len, id);
+            sock.take_events()
+        };
+        self.publish(rt, handle.conn, events);
+        id
+    }
+
+    fn publish(&self, rt: &ShardRuntime, conn: ConnId, events: Vec<ExsEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        rt.shared
+            .events
+            .lock()
+            .entry(conn.0)
+            .or_default()
+            .absorb(events);
+        rt.shared.cv.notify_all();
+    }
+
+    /// Blocks until receive `id` on `handle` completes.
+    pub fn wait_recv(&self, handle: ShardHandle, id: u64, timeout: Duration) -> Option<u32> {
+        let rt = &self.shards[handle.shard as usize];
+        let deadline = std::time::Instant::now() + timeout;
+        let mut bufs = rt.shared.events.lock();
+        loop {
+            if let Some(len) = bufs
+                .entry(handle.conn.0)
+                .or_default()
+                .recvs_done
+                .remove(&id)
+            {
+                return Some(len);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            rt.shared
+                .cv
+                .wait_for(&mut bufs, deadline.saturating_duration_since(now));
+        }
+    }
+
+    /// Blocks until send `id` on `handle` completes.
+    pub fn wait_send(&self, handle: ShardHandle, id: u64, timeout: Duration) -> Option<u64> {
+        let rt = &self.shards[handle.shard as usize];
+        let deadline = std::time::Instant::now() + timeout;
+        let mut bufs = rt.shared.events.lock();
+        loop {
+            if let Some(len) = bufs
+                .entry(handle.conn.0)
+                .or_default()
+                .sends_done
+                .remove(&id)
+            {
+                return Some(len);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            rt.shared
+                .cv
+                .wait_for(&mut bufs, deadline.saturating_duration_since(now));
+        }
+    }
+
+    /// True once `handle`'s peer closed and its stream fully drained.
+    pub fn peer_closed(&self, handle: ShardHandle) -> bool {
+        self.shards[handle.shard as usize]
+            .shared
+            .reactor
+            .lock()
+            .conn(handle.conn)
+            .peer_closed()
+    }
+
+    /// Protocol counters of one accepted connection.
+    pub fn conn_stats(&self, handle: ShardHandle) -> ConnStats {
+        self.shards[handle.shard as usize]
+            .shared
+            .reactor
+            .lock()
+            .conn(handle.conn)
+            .stats()
+            .clone()
+    }
+
+    /// Sum of all accepted connections' protocol counters, across every
+    /// shard.
+    pub fn aggregate_stats(&self) -> ConnStats {
+        let mut total = ConnStats::default();
+        for rt in &self.shards {
+            total.merge(&rt.shared.reactor.lock().aggregate_conn_stats());
+        }
+        total
+    }
+
+    /// Event-loop statistics merged across shards: counters sum, peaks
+    /// take the max.
+    pub fn reactor_stats(&self) -> ReactorStats {
+        let mut total = ReactorStats::default();
+        for rt in &self.shards {
+            total.merge(rt.shared.reactor.lock().stats());
+        }
+        total
+    }
+
+    /// Aggregated pool counters: the pool node's buffer pool merged
+    /// with every per-client-node pool created by accepts.
+    pub fn pool_stats(&self) -> PoolStats {
+        let mut total = self.pool.stats();
+        for pool in self.client_pools.lock().values() {
+            total.merge(&pool.stats());
+        }
+        total
+    }
+
+    /// Per-shard telemetry snapshot: live connections, poll/dispatch
+    /// counters, placement decisions, command traffic, and the service
+    /// thread's busy ratio.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let placement = self.placement.lock();
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, rt)| {
+                let st = rt.shared.reactor.lock().stats().clone();
+                ShardStats {
+                    shard_id: i as u32,
+                    conns: st.conns_added - st.conns_removed,
+                    assigned: placement.assigned[i],
+                    steals: placement.steals[i],
+                    commands: rt.ctl.commands_drained.load(Ordering::Relaxed),
+                    polls: st.polls,
+                    cqes_dispatched: st.cqes_dispatched,
+                    busy_ns: rt.ctl.busy_ns.load(Ordering::Relaxed),
+                    wall_ns: rt.ctl.wall_ns.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+}
+
+impl Drop for ThreadReactorPool {
+    fn drop(&mut self) {
+        // Phase 1: every shard must drain — pending cross-shard
+        // commands handled and unsent stream traffic flushed — before
+        // ANY shard stops. A shard stopping early while a peer still
+        // holds a handoff command for it would strand the command (and
+        // any ctrl message the close would have produced).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut all_drained = true;
+            for rt in &self.shards {
+                if !rt.ctl.commands.is_empty() {
+                    all_drained = false;
+                    self.node.notify();
+                    continue;
+                }
+                if rt.shared.reactor.lock().has_unsent() {
+                    all_drained = false;
+                    drain_reactor_unsent(&self.net, &self.node, &rt.shared);
+                }
+            }
+            if all_drained || std::time::Instant::now() >= deadline {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        // Phase 2: signal every shard, then wake all parked service
+        // threads at once.
+        for rt in &self.shards {
+            rt.shared.stop.store(true, Ordering::Release);
+            rt.shared.cv.notify_all();
+        }
+        self.node.notify();
+        // Phase 3: join.
+        for rt in &mut self.shards {
+            if let Some(h) = rt.service.take() {
+                let _ = h.join();
+            }
+        }
+        // Finalize any sockets retired by close commands but never
+        // collected by a caller.
+        self.net.quiesce();
+        let mut port = ThreadPort::new(&self.net, &self.node);
+        for rt in &self.shards {
+            for (_, mut sock) in rt.ctl.retired.lock().drain(..) {
+                sock.close(&mut port);
+            }
         }
     }
 }

@@ -38,7 +38,12 @@ pub struct ThreadNode {
 }
 
 impl ThreadNode {
-    fn notify(&self) {
+    /// Wakes every thread parked in [`ThreadNode::wait_any`] without a
+    /// completion having landed. Used to nudge service threads when
+    /// out-of-band work arrives (e.g. a cross-shard command queued for
+    /// a parked reactor shard); spurious wakeups are harmless since
+    /// sleepers re-check their state.
+    pub fn notify(&self) {
         self.generation.fetch_add(1, Ordering::Release);
         let _guard = self.wakeup.lock();
         self.condvar.notify_all();
